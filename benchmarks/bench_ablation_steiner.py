@@ -1,0 +1,71 @@
+"""A.STEINER — ablation of Δ in ``min_Δ (N / ST(G,K,Δ) + Δ)`` (Thm 3.11).
+
+Sweeps the Steiner-tree diameter bound Δ on a clique and on a grid,
+measuring (a) the packing size ST(G, K, Δ) and (b) the actual round count
+of the set-intersection protocol pinned to that Δ.  Asserts the theorem's
+tradeoff: tiny Δ admits no packing, huge Δ wastes Δ additive rounds, and
+the optimizer's choice is within a constant of the best sweep point.
+"""
+
+import pytest
+
+from repro.network import Topology, st_value
+from repro.protocols import run_set_intersection
+
+N = 120
+
+
+def sweep(topo, players, deltas):
+    vectors = {p: [True] * N for p in players}
+    rows = []
+    for delta in deltas:
+        st = st_value(topo, players, delta)
+        if st == 0:
+            rows.append((delta, 0, None))
+            continue
+        _ans, res = run_set_intersection(
+            topo, vectors, players[0], max_diameter=delta
+        )
+        rows.append((delta, st, res.rounds))
+    return rows
+
+
+def test_delta_sweep_clique(benchmark):
+    topo = Topology.clique(6)
+    players = topo.nodes
+    rows = benchmark.pedantic(
+        sweep, args=(topo, players, (1, 2, 3, 5, 6)), rounds=1, iterations=1
+    )
+    print(f"{'Δ':>3} {'ST(G,K,Δ)':>10} {'rounds':>8}   (clique(6), N={N})")
+    feasible = []
+    for delta, st, rounds in rows:
+        print(f"{delta:>3} {st:>10} {rounds if rounds is not None else '-':>8}")
+        if rounds is not None:
+            feasible.append((delta, st, rounds))
+    assert feasible, "no feasible Δ found"
+    # More trees -> fewer rounds (the N/ST term dominates at this N).
+    by_st = sorted(feasible, key=lambda r: r[1])
+    assert by_st[-1][2] <= by_st[0][2]
+    # The optimized protocol (Δ = None) matches the best sweep point
+    # within a small factor.
+    vectors = {p: [True] * N for p in players}
+    _ans, auto = run_set_intersection(topo, vectors, players[0])
+    best = min(r for _d, _s, r in feasible)
+    print(f"auto-Δ rounds: {auto.rounds}, best sweep: {best}")
+    assert auto.rounds <= 1.5 * best + 8
+
+
+def test_delta_sweep_grid(benchmark):
+    topo = Topology.grid(2, 3)
+    players = topo.nodes
+    rows = benchmark.pedantic(
+        sweep, args=(topo, players, (2, 3, 4, 6)), rounds=1, iterations=1
+    )
+    print(f"{'Δ':>3} {'ST(G,K,Δ)':>10} {'rounds':>8}   (grid(2x3), N={N})")
+    for delta, st, rounds in rows:
+        print(f"{delta:>3} {st:>10} {rounds if rounds is not None else '-':>8}")
+    feasible = [(d, s, r) for d, s, r in rows if r is not None]
+    assert feasible
+    # Rounds always at least N/ST (the information bottleneck).
+    for _d, st, rounds in feasible:
+        assert rounds >= N / st - 1

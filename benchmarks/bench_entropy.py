@@ -1,0 +1,110 @@
+"""E.ENT — Section 6.2 / Appendices H-I: the min-entropy machinery.
+
+Numerically exact verifications (small F2 spaces, full enumeration) of the
+three analytic ingredients of the MCM lower bound:
+
+* Theorem H.9: the inner-product two-source extractor bound;
+* Theorem 6.3's shape: matrix-vector multiplication amplifies min-entropy
+  (and degrades gracefully as the matrix loses entropy);
+* Appendix I.3: the Shannon-entropy counterexample — conditional Shannon
+  entropy of Ax collapses to ~half of H(x), so the induction *must* use
+  min-entropy.
+"""
+
+import pytest
+
+from repro.entropy import (
+    inner_product_distance,
+    matvec_min_entropy,
+    min_entropy,
+    planted_deficiency_matrices,
+    shannon_counterexample,
+    theorem_h9_bound,
+    uniform,
+    uniform_matrices,
+)
+
+
+def test_theorem_h9_sweep(benchmark):
+    """Extractor distance vs bound over a sweep of source entropies."""
+
+    def run():
+        rows = []
+        n = 4
+        for support_bits in (4, 3, 2):
+            dy = uniform(2**support_bits)
+            dist = inner_product_distance(dy, uniform(2**n), n)
+            bound = theorem_h9_bound(n, support_bits, n)
+            rows.append((support_bits, dist, bound))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"{'H∞(y)':>6} {'distance':>10} {'H.9 bound':>10}")
+    for h, dist, bound in rows:
+        print(f"{h:>6} {dist:>10.5f} {bound:>10.5f}")
+        assert dist <= bound + 1e-12
+    # Distance decays as total entropy rises.
+    dists = [dist for _h, dist, _b in rows]
+    assert dists == sorted(dists)
+
+
+def test_theorem_63_amplification_table(benchmark):
+    """H∞(Ax) as A's deficiency grows: full-entropy A nearly saturates
+    H∞(Ax); each fixed (zeroed) row costs amplification."""
+
+    def run():
+        n = 3
+        dx = {1: 0.5, 2: 0.25, 4: 0.25}  # H∞(x) = 1
+        rows = [("uniform", matvec_min_entropy(uniform_matrices(n), dx, n))]
+        for fixed in (1, 2):
+            rows.append(
+                (
+                    f"{fixed} zero row(s)",
+                    matvec_min_entropy(
+                        planted_deficiency_matrices(n, fixed), dx, n
+                    ),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"{'A distribution':>16} {'H∞(Ax)':>8}   (H∞(x) = 1, n = 3)")
+    for label, h in rows:
+        print(f"{label:>16} {h:>8.3f}")
+    values = [h for _l, h in rows]
+    assert values[0] >= 2.5  # near-full amplification under uniform A
+    assert values[0] > values[1] > values[2]  # monotone degradation
+
+
+def test_shannon_counterexample_table(benchmark):
+    """Appendix I.3: H(Ax | f(A), x) ≈ H(x)/2 — Shannon entropy fails."""
+
+    def run():
+        return [shannon_counterexample(n, max(1, n // 8)) for n in (8, 16, 24)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"{'n':>4} {'alpha':>6} {'H(x)':>8} {'H(Ax|f(A),x)':>14} {'ratio':>6}")
+    for out in rows:
+        ratio = out["h_x"] / max(out["h_ax_given_fa_x"], 1e-9)
+        print(
+            f"{out['n']:>4.0f} {out['alpha']:>6.3f} {out['h_x']:>8.3f} "
+            f"{out['h_ax_given_fa_x']:>14.3f} {ratio:>6.2f}"
+        )
+        assert out["h_ax_given_fa_x"] <= out["claimed_upper"] + 1e-9
+        assert 1.5 <= ratio <= 2.6  # "about a factor two" (App. I.3)
+
+
+def test_min_entropy_never_exceeds_shannon(benchmark):
+    from repro.entropy import shannon_entropy
+
+    def run():
+        dists = [
+            {0: 0.7, 1: 0.2, 2: 0.1},
+            uniform(16),
+            {0: 0.5, 1: 0.5},
+        ]
+        return [(min_entropy(d), shannon_entropy(d)) for d in dists]
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for h_min, h_sh in pairs:
+        assert h_min <= h_sh + 1e-12

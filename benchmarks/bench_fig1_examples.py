@@ -1,0 +1,108 @@
+"""F1.EX — Figure 1 + Examples 2.1-2.4: H0/H1 on the line G1 and clique G2.
+
+The paper's worked examples, measured:
+
+* Example 2.1/2.2 — the star query H1 on the line G1 costs ~N (+O(k))
+  rounds (the semijoin-chain / set-intersection protocol);
+* Example 2.3 — the same query on the clique G2 costs ~N/2 (+O(1)) by
+  splitting Dom(A) over two edge-disjoint paths;
+* Example 2.4 — the Ω(N) TRIBES lower bound: we verify the embedded
+  instance is decided correctly and that the measured rounds sit between
+  the formula lower bound and a constant multiple of it.
+"""
+
+import pytest
+
+from repro.core import Planner, worst_case_assignment
+from repro.faq import bcq, scalar_value
+from repro.hypergraph import Hypergraph
+from repro.lowerbounds import bcq_bounds, embed_tribes_in_forest, hard_tribes
+from repro.network import Topology
+from repro.protocols import run_set_intersection
+
+N = 128
+
+
+def fig1_h1():
+    return Hypergraph(
+        {"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D"), "U": ("A", "E")}
+    )
+
+
+def hard_instance(n=N, seed=0, value=True):
+    h = fig1_h1()
+    tribes = hard_tribes(1, n, value, seed=seed)
+    emb = embed_tribes_in_forest(h, tribes)
+    return emb, bcq(h, emb.factors, emb.domains, name="H1")
+
+
+def test_example_21_set_intersection_line(benchmark):
+    """Example 2.1's core task: 4-party set intersection on the line
+    takes N + O(k) rounds at one element per round."""
+    vectors = {
+        f"P{i}": [(j % (i + 2)) != 1 for j in range(N)] for i in range(4)
+    }
+    expected = [all(vectors[p][j] for p in vectors) for j in range(N)]
+    answer, res = benchmark.pedantic(
+        run_set_intersection,
+        args=(Topology.line(4), vectors, "P3"),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"Example 2.1: N={N}, rounds={res.rounds} (paper: N + 2 = {N + 2})")
+    assert answer == expected
+    assert N <= res.rounds <= N + 12  # N + O(k) with header overheads
+
+
+def test_example_22_23_line_vs_clique(benchmark):
+    """Examples 2.2 vs 2.3: the clique halves the line's round count."""
+    emb, query = hard_instance()
+
+    def run(topo, out):
+        assignment = {"R": "P0", "S": "P1", "T": "P2", "U": "P3"}
+        report = Planner(query, topo, assignment, out).execute()
+        assert report.correct
+        return report
+
+    line = run(Topology.line(4), "P1")
+    clique = benchmark.pedantic(
+        run, args=(Topology.clique(4), "P1"), rounds=1, iterations=1
+    )
+    ratio = line.measured_rounds / clique.measured_rounds
+    print(
+        f"Example 2.2 (line):   {line.measured_rounds} rounds\n"
+        f"Example 2.3 (clique): {clique.measured_rounds} rounds\n"
+        f"speedup: {ratio:.2f}x (paper: (N+2)/(N/2+2) -> ~2x)"
+    )
+    assert 1.4 <= ratio <= 3.0
+
+
+def test_example_24_lower_bound_certificate(benchmark):
+    """Example 2.4: the TRIBES embedding decides the query, the worst-case
+    assignment splits it across the min cut, and measured rounds respect
+    the Ω(N) formula."""
+
+    def run(value):
+        emb, query = hard_instance(value=value, seed=9)
+        topo = Topology.line(4)
+        assignment = worst_case_assignment(
+            emb.s_edges, emb.t_edges, query.hypergraph.edge_names, topo, topo.nodes
+        )
+        report = Planner(query, topo, assignment).execute()
+        assert report.correct
+        assert scalar_value(report.answer) == value
+        return report
+
+    true_report = run(True)
+    false_report = benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+    bounds = bcq_bounds(fig1_h1(), Topology.line(4), Topology.line(4).nodes, N)
+    print(
+        f"measured (TRIBES=1): {true_report.measured_rounds} rounds\n"
+        f"measured (TRIBES=0): {false_report.measured_rounds} rounds\n"
+        f"formula lower bound: {bounds.lower_rounds:.0f}  "
+        f"upper: {bounds.upper_rounds:.0f}"
+    )
+    for report in (true_report, false_report):
+        # Shape: within [lower/const, const * lower]: the Ω(N) regime.
+        assert report.measured_rounds >= bounds.lower_rounds / 4
+        assert report.measured_rounds <= 8 * bounds.lower_rounds

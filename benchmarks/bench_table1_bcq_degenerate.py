@@ -1,0 +1,62 @@
+"""T1.R3 — Table 1 row 3: BCQ, arbitrary G, d-degenerate, r = 2, gap Õ(d).
+
+Workload: random d-degenerate simple-graph queries for d in {1, 2, 3},
+with the Theorem 4.4 adversarial inputs (TRIBES embedded in forest +
+core).  The bench asserts the row's claim: the measured gap grows at most
+linearly in d (times the polylog allowance) — i.e. gap/d stays bounded.
+"""
+
+import pytest
+
+from repro.core import Planner, format_table, gap_within_budget, table1_row
+from repro.faq import bcq
+from repro.hypergraph import Hypergraph, decompose, simple_graph_degeneracy
+from repro.lowerbounds import (
+    core_embedding_capacity,
+    embed_tribes_in_core,
+    hard_tribes,
+)
+from repro.network import Topology
+from repro.workloads import random_d_degenerate_query, random_instance
+
+N = 96
+
+
+def degenerate_row(d, seed=0):
+    h = random_d_degenerate_query(6, d, seed=seed)
+    factors, domains = random_instance(h, domain_size=N, relation_size=N, seed=seed)
+    query = bcq(h, factors, domains, name=f"d={d}")
+    topo = Topology.clique(4)
+    return table1_row("bcq-degenerate", Planner(query, topo))
+
+
+def test_bcq_degenerate_gap_scales_with_d(benchmark):
+    rows = [degenerate_row(d) for d in (1, 2)]
+    rows.append(benchmark.pedantic(degenerate_row, args=(3,), rounds=1, iterations=1))
+    print(format_table(rows))
+    for row in rows:
+        assert row.correct
+        assert gap_within_budget(row), (row.d, row.gap, row.gap_budget)
+    # Õ(d) shape: normalized gap (gap / d) bounded across the sweep.
+    normalized = [row.gap / row.d for row in rows]
+    print("gap/d:", [f"{g:.2f}" for g in normalized])
+    assert max(normalized) <= 8 * min(normalized) + 8
+
+
+def test_adversarial_core_instance(benchmark):
+    """The Theorem 4.4 hard instance itself: a cycle query whose inputs
+    embed TRIBES; the protocol must still answer correctly and within
+    the d-budgeted gap."""
+
+    def run():
+        h = Hypergraph.cycle(5)
+        _mode, cap = core_embedding_capacity(h)
+        tribes = hard_tribes(cap, 16, True, seed=3)
+        emb = embed_tribes_in_core(h, tribes)
+        query = bcq(h, emb.factors, emb.domains, name="cycle5-hard")
+        return table1_row("bcq-degenerate", Planner(query, Topology.ring(5)))
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(format_table([row]))
+    assert row.correct
+    assert gap_within_budget(row, polylog_allowance=128)

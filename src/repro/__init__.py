@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Topology Dependent Bounds For FAQs" (PODS 2019).
+
+A from-scratch distributed FAQ/semiring query engine with:
+
+* a synchronous, edge-capacitated, round-counting network simulator
+  (Model 2.1);
+* the full hypergraph/GHD toolchain (GYO, core/forest decomposition,
+  GYO-GHDs, MD-GHDs, internal-node-width y(H));
+* centralized FAQ solvers (naive, variable elimination, GHD message
+  passing, Yannakakis) and the distributed protocols of Sections 4-6;
+* executable TRIBES lower-bound reductions and closed-form bound/gap
+  calculators regenerating Table 1;
+* the min-entropy toolkit of the matrix-chain lower bound.
+
+Quickstart::
+
+    from repro import Planner, bcq, Hypergraph, Topology
+    from repro.workloads import random_instance
+
+    h = Hypergraph.star(4)
+    factors, domains = random_instance(h, domain_size=32, relation_size=64)
+    query = bcq(h, factors, domains)
+    report = Planner(query, Topology.line(4)).execute()
+    print(report.measured_rounds, report.correct)
+"""
+
+from .core import (
+    ExecutionReport,
+    Planner,
+    answer_value,
+    assign_round_robin,
+    assign_single_player,
+    worst_case_assignment,
+)
+from .decomposition import GHD, best_gyo_ghd, internal_node_width
+from .faq import FAQQuery, bcq, marginal_query, natural_join_query, scalar_value
+from .hypergraph import Hypergraph, decompose, is_acyclic
+from .network import Topology
+from .semiring import BOOLEAN, COUNTING, GF2, MAX_TIMES, MIN_PLUS, REAL, Factor, Semiring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Planner",
+    "ExecutionReport",
+    "answer_value",
+    "assign_round_robin",
+    "assign_single_player",
+    "worst_case_assignment",
+    "FAQQuery",
+    "bcq",
+    "natural_join_query",
+    "marginal_query",
+    "scalar_value",
+    "Hypergraph",
+    "decompose",
+    "is_acyclic",
+    "GHD",
+    "best_gyo_ghd",
+    "internal_node_width",
+    "Topology",
+    "Factor",
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "REAL",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "GF2",
+    "__version__",
+]

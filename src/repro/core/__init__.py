@@ -1,0 +1,24 @@
+"""Planner + analysis: the repository's headline API."""
+
+from .analysis import Table1Row, format_table, gap_within_budget, table1_row
+from .planner import (
+    ExecutionReport,
+    Planner,
+    answer_value,
+    assign_round_robin,
+    assign_single_player,
+    worst_case_assignment,
+)
+
+__all__ = [
+    "Planner",
+    "ExecutionReport",
+    "answer_value",
+    "assign_round_robin",
+    "assign_single_player",
+    "worst_case_assignment",
+    "Table1Row",
+    "table1_row",
+    "format_table",
+    "gap_within_budget",
+]

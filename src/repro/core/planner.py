@@ -1,0 +1,177 @@
+"""The public planning/execution API — the paper's pipeline end-to-end.
+
+``Planner`` ties everything together: given a query ``H``, a topology
+``G`` and an assignment of relations to players, it predicts the paper's
+upper/lower round bounds (Theorems 4.1 / 5.2), compiles and runs the
+distributed protocol, and reports measured-vs-formula gaps as in Table 1.
+
+Assignment policies:
+
+* :func:`assign_round_robin` — spread relations over players;
+* :func:`assign_single_player` — everything co-located (zero-communication
+  sanity case);
+* :func:`worst_case_assignment` — the adversarial Lemma 4.4 placement:
+  the Alice-side relations of a TRIBES embedding on one side of a minimum
+  K-separating cut, the Bob-side on the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..faq import FAQQuery, scalar_value, solve_variable_elimination, solve_naive
+from ..lowerbounds.bounds import BoundReport, bcq_bounds, faq_bounds
+from ..network.topology import Topology
+from ..protocols.faq_protocol import FAQProtocolReport, run_distributed_faq
+from ..semiring import BOOLEAN, Factor
+
+
+def assign_round_robin(
+    query: FAQQuery, topology: Topology, players: Optional[Sequence[str]] = None
+) -> Dict[str, str]:
+    """Relation i -> player (i mod |players|), deterministically ordered."""
+    pool = list(players) if players is not None else topology.nodes
+    return {
+        name: pool[i % len(pool)]
+        for i, name in enumerate(sorted(query.hypergraph.edge_names))
+    }
+
+
+def assign_single_player(query: FAQQuery, player: str) -> Dict[str, str]:
+    """Every relation on one player (the trivially-communication-free case)."""
+    return {name: player for name in query.hypergraph.edge_names}
+
+
+def worst_case_assignment(
+    s_edges: Sequence[str],
+    t_edges: Sequence[str],
+    all_edges: Sequence[str],
+    topology: Topology,
+    players: Sequence[str],
+) -> Dict[str, str]:
+    """The Lemma 4.4 adversarial placement across a minimum cut.
+
+    Alice's relations (``s_edges``) go to players on the A side of a
+    minimum K-separating cut, Bob's (``t_edges``) to the B side; the rest
+    round-robin over K.  Any protocol then simulates a two-party TRIBES
+    protocol across the cut.
+
+    Raises:
+        ValueError: if some side of the cut contains no player of K.
+    """
+    from ..network.mincut import mincut_partition
+
+    side_a, side_b, _crossing = mincut_partition(topology, players)
+    players_a = sorted(set(players) & side_a)
+    players_b = sorted(set(players) & side_b)
+    if not players_a or not players_b:
+        raise ValueError("the min cut does not split the player set K")
+    assignment: Dict[str, str] = {}
+    for i, name in enumerate(sorted(s_edges)):
+        assignment[name] = players_a[i % len(players_a)]
+    for i, name in enumerate(sorted(t_edges)):
+        assignment[name] = players_b[i % len(players_b)]
+    rest = [e for e in sorted(all_edges) if e not in assignment]
+    pool = sorted(players)
+    for i, name in enumerate(rest):
+        assignment[name] = pool[i % len(pool)]
+    return assignment
+
+
+@dataclass
+class ExecutionReport:
+    """Predicted bounds + measured protocol cost for one run.
+
+    Attributes:
+        answer: The protocol's answer factor.
+        reference: The centralized solver's answer (correctness oracle).
+        correct: Whether they agree.
+        measured_rounds: Simulator round count.
+        predicted: The closed-form :class:`BoundReport`.
+        protocol: The raw protocol report.
+    """
+
+    answer: Factor
+    reference: Factor
+    correct: bool
+    measured_rounds: int
+    predicted: BoundReport
+    protocol: FAQProtocolReport
+
+    @property
+    def measured_gap(self) -> float:
+        """measured rounds / formula lower bound — the Table 1 gap."""
+        if self.predicted.lower_rounds <= 0:
+            return float("inf")
+        return self.measured_rounds / self.predicted.lower_rounds
+
+
+class Planner:
+    """Plan, predict and execute a distributed FAQ computation.
+
+    Args:
+        query: The FAQ instance.
+        topology: The communication graph ``G``.
+        assignment: Relation -> player; defaults to round-robin over all
+            nodes of ``G``.
+        output_player: The player that must know the answer.
+    """
+
+    def __init__(
+        self,
+        query: FAQQuery,
+        topology: Topology,
+        assignment: Optional[Dict[str, str]] = None,
+        output_player: Optional[str] = None,
+    ) -> None:
+        self.query = query
+        self.topology = topology
+        self.assignment = assignment or assign_round_robin(query, topology)
+        self.output_player = output_player
+
+    @property
+    def players(self) -> List[str]:
+        """``K``: the players actually holding relations."""
+        return sorted(set(self.assignment.values()))
+
+    def predict(self) -> BoundReport:
+        """The Theorem 4.1 / 5.2 closed-form bounds for this instance."""
+        n = max(1, self.query.max_factor_size)
+        players = self.players
+        if len(players) < 2:
+            return BoundReport(0.0, 0.0, {"co_located": 1.0})
+        if self.query.semiring.name == BOOLEAN.name and not self.query.free_vars:
+            return bcq_bounds(self.query.hypergraph, self.topology, players, n)
+        return faq_bounds(self.query.hypergraph, self.topology, players, n)
+
+    def reference_answer(self) -> Factor:
+        """The centralized ground truth."""
+        try:
+            return solve_variable_elimination(self.query)
+        except ValueError:
+            return solve_naive(self.query)
+
+    def execute(self, max_rounds: int = 2_000_000) -> ExecutionReport:
+        """Run the distributed protocol and cross-check the answer."""
+        protocol = run_distributed_faq(
+            self.query,
+            self.topology,
+            self.assignment,
+            output_player=self.output_player,
+            max_rounds=max_rounds,
+        )
+        reference = self.reference_answer()
+        return ExecutionReport(
+            answer=protocol.answer,
+            reference=reference,
+            correct=protocol.answer == reference,
+            measured_rounds=protocol.rounds,
+            predicted=self.predict(),
+            protocol=protocol,
+        )
+
+
+def answer_value(report: ExecutionReport):
+    """Convenience: the scalar answer of a BCQ execution."""
+    return scalar_value(report.answer)

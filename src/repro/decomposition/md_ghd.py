@@ -1,0 +1,108 @@
+"""MD-GHDs — Construction F.6 and the Lemma F.3 structure check.
+
+Construction F.6 takes any (GYO-)GHD and repeatedly performs the *move-up*
+operation: for a parent-child pair ``(u, v)``, if some strict ancestor ``w``
+of ``u`` satisfies ``chi(v) ∩ chi(u) ⊆ chi(w)``, re-hang ``v`` under the
+*topmost* such ``w``.  The result is still a valid GHD, the process
+terminates (Corollary F.7), and it tends to convert internal nodes into
+leaves — which is why it doubles as the greedy minimizer for the
+internal-node-width of Definition 2.9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ghd import GHD
+
+
+def _topmost_hosting_ancestor(ghd: GHD, node_id: str) -> Optional[str]:
+    """Topmost strict ancestor of ``parent(node_id)`` whose bag contains
+    the connector ``chi(node) ∩ chi(parent)``; None when no move applies."""
+    node = ghd.nodes[node_id]
+    parent_id = node.parent
+    if parent_id is None:
+        return None
+    connector = node.chi & ghd.nodes[parent_id].chi
+    best = None
+    for anc in ghd.ancestors(parent_id):  # parent's parent .. root
+        if connector <= ghd.nodes[anc].chi:
+            best = anc  # keep climbing: construction picks the topmost
+    return best
+
+
+def md_ghd(ghd: GHD, max_steps: Optional[int] = None) -> GHD:
+    """Apply Construction F.6 until fixpoint and return a new GHD.
+
+    Args:
+        ghd: Any valid GHD (typically a GYO-GHD from Construction 2.8).
+        max_steps: Safety cap on move-up operations; defaults to the
+            Corollary F.7 bound ``|E(T)| * y(T)``.
+
+    Returns:
+        The MD-GHD: a valid GHD on the same hypergraph in which no further
+        move-up operation applies.
+    """
+    out = ghd.copy()
+    if max_steps is None:
+        max_steps = max(1, (len(out) - 1) * max(1, out.num_internal_nodes))
+    steps = 0
+    changed = True
+    while changed and steps <= max_steps:
+        changed = False
+        for node_id in list(out.nodes):
+            if node_id == out.root_id:
+                continue
+            target = _topmost_hosting_ancestor(out, node_id)
+            if target is not None:
+                out.reparent(node_id, target)
+                steps += 1
+                changed = True
+    out.validate()
+    return out
+
+
+def is_md_ghd(ghd: GHD) -> bool:
+    """True when no Construction F.6 move-up operation applies."""
+    return all(
+        node_id == ghd.root_id
+        or _topmost_hosting_ancestor(ghd, node_id) is None
+        for node_id in ghd.nodes
+    )
+
+
+def internal_nodes_bottom_up(ghd: GHD) -> List[str]:
+    """Internal node ids indexed bottom-up as in Lemma F.3 (descendants
+    before ancestors)."""
+    return [n.node_id for n in ghd.postorder() if n.children]
+
+
+def private_attribute_witness(ghd: GHD, internal_id: str) -> Optional[Tuple]:
+    """Lemma F.3 witness for one internal node of an MD-GHD.
+
+    For internal node ``u_i`` (bottom-up order), Lemma F.3 promises an
+    attribute ``p_i`` that occurs only in bags of descendants of ``u_i``
+    (including ``u_i`` itself) and lies in at least two distinct hyperedges
+    incident on it.
+
+    Returns:
+        ``(attribute, edge_name_1, edge_name_2)`` or None if no witness
+        exists (which for a genuine MD-GHD of an acyclic ``H`` indicates a
+        bug — tests assert it is never None there).
+    """
+    inside = ghd.descendants(internal_id) | {internal_id}
+    outside_vertices: set = set()
+    for node_id, node in ghd.nodes.items():
+        if node_id not in inside:
+            outside_vertices |= node.chi
+    h = ghd.hypergraph
+    children = ghd.nodes[internal_id].children
+    for child in children:
+        connector = ghd.nodes[child].chi & ghd.nodes[internal_id].chi
+        for attr in sorted(connector, key=str):
+            if attr in outside_vertices:
+                continue
+            incident = sorted(h.incident_edges(attr))
+            if len(incident) >= 2:
+                return (attr, incident[0], incident[1])
+    return None

@@ -1,0 +1,41 @@
+"""Min-entropy toolkit for the MCM lower bound (Section 6.2, App. H/I)."""
+
+from .extractors import (
+    all_vectors,
+    inner_product_distance,
+    matvec_min_entropy,
+    planted_deficiency_matrices,
+    shannon_counterexample,
+    theorem_h9_bound,
+    uniform_matrices,
+)
+from .minentropy import (
+    conditional_smooth_min_entropy,
+    guessing_probability,
+    lemma_6_1_bound,
+    lemma_6_3_bound,
+    min_entropy,
+    shannon_entropy,
+    smooth_min_entropy,
+    statistical_distance,
+    uniform,
+)
+
+__all__ = [
+    "min_entropy",
+    "shannon_entropy",
+    "smooth_min_entropy",
+    "conditional_smooth_min_entropy",
+    "guessing_probability",
+    "lemma_6_1_bound",
+    "lemma_6_3_bound",
+    "statistical_distance",
+    "uniform",
+    "all_vectors",
+    "inner_product_distance",
+    "theorem_h9_bound",
+    "matvec_min_entropy",
+    "uniform_matrices",
+    "planted_deficiency_matrices",
+    "shannon_counterexample",
+]

@@ -1,0 +1,164 @@
+"""Min-entropy, smooth min-entropy and conditional variants — Section 6.2.1.
+
+Distributions are dicts (or arrays) of probabilities.  Definitions follow
+the paper:
+
+* ``H∞(X) = -log2 max_x Pr[X = x]``;
+* ``Hε∞(X) = sup_E H∞(X ∧ E)`` over events with ``Pr[E] >= 1 - ε``
+  (equivalently, clip probability mass ε off the largest atoms —
+  water-filling gives the exact optimum);
+* ``Hε∞(X|Y) = sup_E -log max_{x,y} Pr[E, X=x | Y=y]`` (note the paper
+  does *not* normalize by Pr[E]).
+
+Also provides Shannon entropy, the Lemma 6.1 chain-rule substitute check
+and the Lemma 6.3 guessing bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Mapping, Tuple
+
+Probability = float
+Distribution = Mapping[Hashable, Probability]
+
+
+def _validate(probs: Iterable[Probability]) -> list:
+    values = [float(p) for p in probs]
+    if any(p < -1e-12 for p in values):
+        raise ValueError("probabilities must be non-negative")
+    total = math.fsum(values)
+    if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    return values
+
+
+def min_entropy(dist: Distribution) -> float:
+    """``H∞(X)`` in bits."""
+    values = _validate(dist.values())
+    peak = max(values) if values else 1.0
+    return -math.log2(peak)
+
+
+def shannon_entropy(dist: Distribution) -> float:
+    """``H(X)`` in bits."""
+    values = _validate(dist.values())
+    return -math.fsum(p * math.log2(p) for p in values if p > 0)
+
+
+def smooth_min_entropy(dist: Distribution, epsilon: float) -> float:
+    """``Hε∞(X)`` by exact water-filling.
+
+    The optimal event E removes mass from the largest atoms: clip all
+    atoms at threshold ``t`` where the clipped mass totals ε; then
+    ``Hε∞ = -log2 t``.
+
+    Raises:
+        ValueError: for ε outside [0, 1).
+    """
+    if not 0 <= epsilon < 1:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+    values = sorted(_validate(dist.values()), reverse=True)
+    if epsilon == 0:
+        return -math.log2(values[0])
+    # Find t: sum_i (p_i - t)_+ = epsilon, scanning the sorted prefix.
+    removed = 0.0
+    for i, p in enumerate(values):
+        nxt = values[i + 1] if i + 1 < len(values) else 0.0
+        # Lowering the cap from p to nxt over the first i+1 atoms removes
+        # (i+1) * (p - nxt) additional mass.
+        chunk = (i + 1) * (p - nxt)
+        if removed + chunk >= epsilon:
+            t = p - (epsilon - removed) / (i + 1)
+            return -math.log2(max(t, 1e-300))
+        removed += chunk
+    return float("inf")  # epsilon removes everything
+
+
+def conditional_smooth_min_entropy(
+    joint: Mapping[Tuple[Hashable, Hashable], Probability], epsilon: float
+) -> float:
+    """``Hε∞(X|Y)`` for a finite joint distribution of (X, Y).
+
+    Per the paper's definition the quantity maximized over E is
+    ``-log max_{x,y} Pr[E, X=x | Y=y]``; the optimal E clips the largest
+    *conditional* masses, paying ``Pr[Y=y] * (p(x|y) - t)`` to clip an
+    atom to ``t``.  Binary search on the threshold gives the exact value.
+
+    Raises:
+        ValueError: for ε outside [0, 1) or an unnormalized joint.
+    """
+    if not 0 <= epsilon < 1:
+        raise ValueError(f"epsilon must be in [0, 1), got {epsilon}")
+    _validate(joint.values())
+    marginal: Dict[Hashable, float] = {}
+    for (_x, y), p in joint.items():
+        marginal[y] = marginal.get(y, 0.0) + p
+    conditional = {
+        (x, y): p / marginal[y] for (x, y), p in joint.items() if marginal[y] > 0
+    }
+    if epsilon == 0:
+        return -math.log2(max(conditional.values()))
+
+    def clip_cost(t: float) -> float:
+        return math.fsum(
+            marginal[y] * (p - t)
+            for (x, y), p in conditional.items()
+            if p > t
+        )
+
+    lo, hi = 0.0, max(conditional.values())
+    if clip_cost(0.0) <= epsilon:
+        return float("inf")
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if clip_cost(mid) > epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return -math.log2(max(hi, 1e-300))
+
+
+def guessing_probability(
+    joint: Mapping[Tuple[Hashable, Hashable], Probability]
+) -> float:
+    """``max_f Pr[f(Y) = X]`` — the optimal guess given Y (Lemma 6.3)."""
+    _validate(joint.values())
+    best_per_y: Dict[Hashable, float] = {}
+    for (x, y), p in joint.items():
+        best_per_y[y] = max(best_per_y.get(y, 0.0), p)
+    return math.fsum(best_per_y.values())
+
+
+def lemma_6_3_bound(h_eps: float, epsilon: float) -> float:
+    """The Lemma 6.3 bound: ``Pr[f(Y) = X] <= ε + 2^{-L}``."""
+    return epsilon + 2.0 ** (-h_eps)
+
+
+def lemma_6_1_bound(
+    h_eps_x: float, support_bits: float, epsilon_prime: float
+) -> float:
+    """Lemma 6.1 (Renner-Wolf): the chain-rule substitute.
+
+    ``H^{ε+ε'}∞(X|Y) >= Hε∞(X) - ℓ - log(1/ε')`` when Y has support size
+    at most ``2^ℓ``.  Returns the right-hand side.
+    """
+    if epsilon_prime <= 0:
+        raise ValueError("epsilon_prime must be positive")
+    return h_eps_x - support_bits - math.log2(1.0 / epsilon_prime)
+
+
+def uniform(support_size: int) -> Dict[int, float]:
+    """The uniform distribution on ``range(support_size)``."""
+    if support_size < 1:
+        raise ValueError("support must be non-empty")
+    p = 1.0 / support_size
+    return {i: p for i in range(support_size)}
+
+
+def statistical_distance(d1: Distribution, d2: Distribution) -> float:
+    """Total variation distance between two finite distributions."""
+    keys = set(d1) | set(d2)
+    return 0.5 * math.fsum(
+        abs(d1.get(k, 0.0) - d2.get(k, 0.0)) for k in keys
+    )

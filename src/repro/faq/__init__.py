@@ -1,0 +1,62 @@
+"""The FAQ / FAQ-SS query engine (paper Sections 1, 5 and Appendix G)."""
+
+from .datalog import DatalogSyntaxError, datalog_query, parse_datalog
+from .message_passing import (
+    assign_factors_to_ghd,
+    solve_message_passing,
+    upward_pass_message,
+)
+from .naive import solve_naive
+from .operations import (
+    aggregate_absent_variable,
+    join,
+    marginalize,
+    multi_join,
+    project,
+    scalar,
+    scalar_value,
+    semijoin,
+)
+from .query import (
+    PRODUCT,
+    SUM,
+    Aggregate,
+    FAQQuery,
+    bcq,
+    marginal_query,
+    natural_join_query,
+)
+from .variable_elimination import (
+    greedy_elimination_order,
+    solve_variable_elimination,
+)
+from .yannakakis import full_reducer, solve_bcq_yannakakis
+
+__all__ = [
+    "parse_datalog",
+    "datalog_query",
+    "DatalogSyntaxError",
+    "FAQQuery",
+    "Aggregate",
+    "SUM",
+    "PRODUCT",
+    "bcq",
+    "natural_join_query",
+    "marginal_query",
+    "join",
+    "multi_join",
+    "semijoin",
+    "project",
+    "marginalize",
+    "aggregate_absent_variable",
+    "scalar",
+    "scalar_value",
+    "solve_naive",
+    "solve_variable_elimination",
+    "greedy_elimination_order",
+    "solve_message_passing",
+    "assign_factors_to_ghd",
+    "upward_pass_message",
+    "solve_bcq_yannakakis",
+    "full_reducer",
+]

@@ -1,0 +1,157 @@
+"""Datalog-style query parsing — the paper's query notation.
+
+The paper writes conjunctive queries in Datalog format, e.g.
+Example 2.2's ``q() :- R(A,B), S(A,C), T(A,D), U(A,E)``.  This module
+parses that notation into a :class:`~repro.hypergraph.Hypergraph` plus the
+free-variable tuple (the head's arguments), so paper queries can be typed
+verbatim::
+
+    h, free = parse_datalog("q() :- R(A,B), S(A,C), T(A,D), U(A,E)")
+    query = datalog_query("q(A) :- R(A,B), S(B,C)", relations, domains)
+
+Repeated relation names get multi-hypergraph suffixes (``R#2``) since a
+hyperedge name keys exactly one input function.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+from ..semiring import BOOLEAN, Factor, Semiring
+from .query import FAQQuery
+
+_ATOM = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+
+
+class DatalogSyntaxError(ValueError):
+    """Raised on malformed Datalog query strings."""
+
+
+def _parse_atom(text: str) -> Tuple[str, Tuple[str, ...]]:
+    match = _ATOM.fullmatch(text)
+    if match is None:
+        raise DatalogSyntaxError(f"malformed atom: {text!r}")
+    name = match.group(1)
+    args_text = match.group(2).strip()
+    if not args_text:
+        return name, ()
+    args = tuple(a.strip() for a in args_text.split(","))
+    if any(not a for a in args):
+        raise DatalogSyntaxError(f"empty argument in atom: {text!r}")
+    return name, args
+
+
+def _split_body(body: str) -> list:
+    """Split the body on commas that are not inside parentheses."""
+    atoms = []
+    depth = 0
+    current = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise DatalogSyntaxError("unbalanced parentheses")
+        if ch == "," and depth == 0:
+            atoms.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise DatalogSyntaxError("unbalanced parentheses")
+    atoms.append("".join(current))
+    return [a for a in atoms if a.strip()]
+
+
+def parse_datalog(query: str) -> Tuple[Hypergraph, Tuple[str, ...]]:
+    """Parse ``head(args) :- R(vars), S(vars), ...`` into (H, free vars).
+
+    Body atoms sharing a relation name are disambiguated with ``#i``
+    suffixes (self-joins are distinct hyperedges of the multi-hypergraph).
+    Every head variable must occur in the body.
+
+    Raises:
+        DatalogSyntaxError: on malformed input.
+    """
+    if ":-" not in query:
+        raise DatalogSyntaxError("query must contain ':-'")
+    head_text, body_text = query.split(":-", 1)
+    _head_name, free_vars = _parse_atom(head_text)
+    edges: Dict[str, Tuple[str, ...]] = {}
+    seen_names: Dict[str, int] = {}
+    for atom_text in _split_body(body_text):
+        name, args = _parse_atom(atom_text)
+        if not args:
+            raise DatalogSyntaxError(
+                f"body atom {name!r} has no variables"
+            )
+        seen_names[name] = seen_names.get(name, 0) + 1
+        key = name if seen_names[name] == 1 else f"{name}#{seen_names[name]}"
+        if len(set(args)) != len(args):
+            raise DatalogSyntaxError(
+                f"repeated variable within one atom is unsupported: {atom_text!r}"
+            )
+        edges[key] = args
+    if not edges:
+        raise DatalogSyntaxError("query body is empty")
+    h = Hypergraph(edges)
+    missing = set(free_vars) - h.vertices
+    if missing:
+        raise DatalogSyntaxError(
+            f"head variables not in body: {sorted(missing)}"
+        )
+    return h, free_vars
+
+
+def atom_schema(hypergraph: Hypergraph, edge_name: str, query: str) -> Tuple[str, ...]:
+    """The argument order of ``edge_name`` as written in ``query``."""
+    _h, _free = parse_datalog(query)  # validates
+    for atom_text in _split_body(query.split(":-", 1)[1]):
+        name, args = _parse_atom(atom_text)
+        base = edge_name.split("#", 1)[0]
+        if name == base and set(args) == set(hypergraph.edge(edge_name)):
+            return args
+    raise KeyError(f"atom {edge_name!r} not found in query")
+
+
+def datalog_query(
+    query: str,
+    relations: Mapping[str, Factor],
+    domains: Mapping[str, Sequence[Any]],
+    semiring: Semiring = BOOLEAN,
+    name: str | None = None,
+) -> FAQQuery:
+    """Build an :class:`FAQQuery` from a Datalog string and its relations.
+
+    Args:
+        query: e.g. ``"q(A) :- R(A,B), S(B,C)"`` — the head's variables
+            become the free variables.
+        relations: One factor per body atom key (``R``, ``S``, ``R#2``...),
+            with schema matching the atom's variable set.
+        domains: Domain per variable.
+        semiring: Query semiring (Boolean: the paper's BCQ/CQ semantics).
+
+    Raises:
+        DatalogSyntaxError: on malformed query text.
+        ValueError: on schema/domain mismatches (from FAQQuery validation).
+    """
+    hypergraph, free_vars = parse_datalog(query)
+    factors = {}
+    for edge_name in hypergraph.edge_names:
+        if edge_name not in relations:
+            raise ValueError(f"no relation supplied for atom {edge_name!r}")
+        factor = relations[edge_name]
+        if factor.semiring.name != semiring.name:
+            factor = factor.with_semiring(semiring)
+        factors[edge_name] = factor
+    return FAQQuery(
+        hypergraph=hypergraph,
+        factors=factors,
+        domains={v: tuple(domains[v]) for v in hypergraph.vertices},
+        free_vars=free_vars,
+        semiring=semiring,
+        name=name or query.split(":-")[0].strip(),
+    )

@@ -1,0 +1,114 @@
+"""Variable-elimination FAQ solver (InsideOut-style).
+
+Eliminates bound variables one at a time: all factors mentioning the
+variable are joined and the variable is aggregated out of the combined
+factor.  For FAQ-SS (one semiring aggregate everywhere) any elimination
+order is valid (Theorem G.1, condition 1) and a structure-aware order is
+chosen; for mixed-operator queries the listed right-to-left order is
+respected so correctness never depends on operator commutation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..semiring import Factor
+from .operations import marginalize, multi_join, project
+from .query import FAQQuery
+
+
+def greedy_elimination_order(query: FAQQuery) -> Tuple[str, ...]:
+    """A min-degree-style order over the bound variables.
+
+    Repeatedly picks the bound variable whose elimination joins the fewest
+    factors (ties broken by smaller union schema, then name) — the classic
+    heuristic that recovers a perfect elimination order on acyclic queries.
+    """
+    schemas: List[set] = [set(f.schema) for f in query.factors.values()]
+    remaining = set(query.bound_vars)
+    order: List[str] = []
+    while remaining:
+
+        def cost(var: str) -> Tuple[int, int, str]:
+            touching = [s for s in schemas if var in s]
+            merged: set = set()
+            for s in touching:
+                merged |= s
+            return (len(touching), len(merged), str(var))
+
+        var = min(remaining, key=cost)
+        order.append(var)
+        remaining.discard(var)
+        touching = [s for s in schemas if var in s]
+        schemas = [s for s in schemas if var not in s]
+        if touching:
+            merged = set()
+            for s in touching:
+                merged |= s
+            merged.discard(var)
+            schemas.append(merged)
+    return tuple(order)
+
+
+def solve_variable_elimination(
+    query: FAQQuery, order: Optional[Sequence[str]] = None
+) -> Factor:
+    """Evaluate ``query`` by sequential variable elimination.
+
+    Args:
+        query: The FAQ instance.  Every bound variable must occur in at
+            least one factor (use :func:`repro.faq.naive.solve_naive` for
+            queries with dangling bound variables).
+        order: Optional elimination order over the bound variables.  When
+            omitted: the listed right-to-left order for mixed-operator
+            queries, or :func:`greedy_elimination_order` for FAQ-SS.
+
+    Returns:
+        A factor over ``query.free_vars``.
+
+    Raises:
+        ValueError: if a bound variable occurs in no factor, or a custom
+            ``order`` is supplied for a mixed-operator query (reordering
+            is only sound for FAQ-SS).
+    """
+    occurs = set()
+    for f in query.factors.values():
+        occurs |= set(f.schema)
+    dangling = query.bound_vars - occurs
+    if dangling:
+        raise ValueError(
+            f"bound variables in no factor: {sorted(dangling, key=str)}; "
+            "use solve_naive for such queries"
+        )
+
+    if order is None:
+        if query.is_faq_ss():
+            order = greedy_elimination_order(query)
+        else:
+            order = query.elimination_order()
+    else:
+        order = tuple(order)
+        if set(order) != query.bound_vars:
+            raise ValueError("order must list exactly the bound variables")
+        if not query.is_faq_ss() and order != query.elimination_order():
+            raise ValueError(
+                "custom elimination orders are only sound for FAQ-SS queries"
+            )
+
+    live: List[Factor] = list(query.factors.values())
+    for variable in order:
+        touching = [f for f in live if variable in f.schema]
+        rest = [f for f in live if variable not in f.schema]
+        combined = multi_join(touching)
+        aggregate = query.aggregate_for(variable)
+        combine = aggregate.resolve(query.semiring)
+        full_domain = (
+            query.domains[variable] if aggregate.needs_full_domain else None
+        )
+        reduced = marginalize(combined, variable, combine, full_domain)
+        live = rest + [reduced]
+
+    result = multi_join(live)
+    if tuple(result.schema) != query.free_vars:
+        result = project(result, query.free_vars)
+    return result

@@ -1,0 +1,113 @@
+"""Yannakakis-style BCQ evaluation via semijoin programs.
+
+The paper's upper bounds repeatedly cast BCQ sub-problems as semijoin
+programs (Examples 2.1–2.2, footnote 11); this module provides the
+centralized reference: a bottom-up semijoin pass over a join tree decides
+an acyclic BCQ, and the classic full reducer (bottom-up + top-down)
+removes every dangling tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..decomposition import GHD, best_gyo_ghd
+from ..hypergraph import is_acyclic
+from ..semiring import BOOLEAN, Factor
+from .message_passing import assign_factors_to_ghd
+from .operations import multi_join, semijoin
+from .query import FAQQuery
+
+
+def _boolean_locals(query: FAQQuery, tree: GHD) -> Dict[str, Optional[Factor]]:
+    """Per-node joined Boolean factor (None for structural nodes)."""
+    placement = assign_factors_to_ghd(query, tree)
+    locals_: Dict[str, Optional[Factor]] = {}
+    for node_id, parts in placement.items():
+        if parts:
+            boolean_parts = [
+                p if p.is_boolean() else p.with_semiring(BOOLEAN) for p in parts
+            ]
+            locals_[node_id] = multi_join(boolean_parts)
+        else:
+            locals_[node_id] = None
+    return locals_
+
+
+def solve_bcq_yannakakis(query: FAQQuery, ghd: Optional[GHD] = None) -> bool:
+    """Decide a Boolean Conjunctive Query with one bottom-up semijoin pass.
+
+    Args:
+        query: A BCQ (free variables are ignored; annotations are lifted to
+            Boolean if needed).
+        ghd: Optional join tree; defaults to the best GYO-GHD.
+
+    Returns:
+        True iff the natural join of all relations is non-empty.
+
+    Raises:
+        ValueError: if ``H`` is cyclic and no GHD is supplied (Yannakakis
+            requires a join tree; the protocols handle cyclic cores by the
+            trivial protocol instead).
+    """
+    if ghd is None:
+        if not is_acyclic(query.hypergraph):
+            raise ValueError(
+                "Yannakakis requires an acyclic query (or an explicit GHD)"
+            )
+        ghd = best_gyo_ghd(query.hypergraph)
+    locals_ = _boolean_locals(query, ghd)
+
+    reduced: Dict[str, Optional[Factor]] = {}
+    for node in ghd.postorder():
+        current = locals_[node.node_id]
+        for child_id in node.children:
+            child_factor = reduced[child_id]
+            if child_factor is None:
+                continue
+            if len(child_factor) == 0:
+                return False
+            if current is not None:
+                current = semijoin(current, child_factor)
+            else:
+                # Structural node: forward the child's projection upward by
+                # treating the child factor itself as the local content.
+                current = child_factor
+        reduced[node.node_id] = current
+        if current is not None and len(current) == 0:
+            return False
+    root_factor = reduced[ghd.root_id]
+    return root_factor is None or len(root_factor) > 0
+
+
+def full_reducer(query: FAQQuery, ghd: Optional[GHD] = None) -> Dict[str, Factor]:
+    """Run the classic two-pass full reducer over the join tree.
+
+    Returns:
+        A mapping node_id -> globally consistent Boolean factor: every
+        remaining tuple participates in at least one full join result.
+
+    Raises:
+        ValueError: as in :func:`solve_bcq_yannakakis` for cyclic queries,
+        or if some GHD node holds no factor (full reduction needs content
+        at every node).
+    """
+    if ghd is None:
+        if not is_acyclic(query.hypergraph):
+            raise ValueError("full_reducer requires an acyclic query")
+        ghd = best_gyo_ghd(query.hypergraph)
+    locals_ = _boolean_locals(query, ghd)
+    if any(v is None for v in locals_.values()):
+        empty = sorted(k for k, v in locals_.items() if v is None)
+        raise ValueError(f"GHD nodes without factors: {empty}")
+
+    state: Dict[str, Factor] = {k: v for k, v in locals_.items()}
+    # Bottom-up semijoins.
+    for node in ghd.postorder():
+        for child_id in node.children:
+            state[node.node_id] = semijoin(state[node.node_id], state[child_id])
+    # Top-down semijoins.
+    for node in ghd.preorder():
+        for child_id in node.children:
+            state[child_id] = semijoin(state[child_id], state[node.node_id])
+    return state

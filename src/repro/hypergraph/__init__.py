@@ -1,0 +1,33 @@
+"""Multi-hypergraphs, degeneracy, GYO reduction and core/forest split."""
+
+from .degeneracy import (
+    degeneracy,
+    degeneracy_ordering,
+    is_d_degenerate,
+    simple_graph_degeneracy,
+)
+from .gyo import (
+    Decomposition,
+    GyoResult,
+    RemovedEdge,
+    decompose,
+    gyo_reduce,
+    is_acyclic,
+    n2,
+)
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "Hypergraph",
+    "degeneracy",
+    "degeneracy_ordering",
+    "is_d_degenerate",
+    "simple_graph_degeneracy",
+    "gyo_reduce",
+    "GyoResult",
+    "RemovedEdge",
+    "decompose",
+    "Decomposition",
+    "is_acyclic",
+    "n2",
+]

@@ -1,0 +1,100 @@
+"""Degeneracy of (hyper)graphs — Definition 3.3.
+
+A (hyper)graph is *d-degenerate* when every sub(hyper)graph has a vertex of
+degree at most ``d`` (degree = number of incident hyperedges,
+Definition 3.2).  The degeneracy is the smallest such ``d``; it is computed
+by the classic min-degree peeling order, which also yields a *degeneracy
+ordering* used by protocol constructions for d-degenerate queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+from .hypergraph import Hypergraph
+
+
+def degeneracy_ordering(hypergraph: Hypergraph) -> Tuple[int, List]:
+    """Compute ``(degeneracy, peeling order)`` by repeated min-degree removal.
+
+    Returns:
+        A pair ``(d, order)`` where ``order`` lists vertices in the order
+        they were peeled and ``d`` is the maximum degree observed at peel
+        time — exactly the degeneracy of Definition 3.3.  An edgeless or
+        empty hypergraph has degeneracy 0.
+    """
+    # Degrees under vertex removal: removing v shrinks each incident edge;
+    # an edge disappears only when all of its vertices are gone, so a
+    # remaining vertex's degree is the number of its incident edges that
+    # still contain it — which never changes until *it* is removed.  What
+    # does change is which edges count: an edge whose other endpoints are
+    # all removed still counts for v (it still contains v).  Hence degree
+    # of v in the induced subhypergraph on remaining vertices equals the
+    # number of original edges e with v in e and e ∩ remaining != {} —
+    # always true since v itself remains.  So hypergraph degree under
+    # *vertex-induced* subhypergraphs is static per vertex; degeneracy
+    # would then be max-min over subsets which peeling computes exactly.
+    remaining = hypergraph.vertices
+    if not remaining:
+        return 0, []
+
+    # Edge survives as long as it has >= 1 remaining vertex; a remaining
+    # vertex v is in the (shrunk) edge iff v was in the original edge.
+    # Therefore deg(v) is constant while v remains, and the min-degree
+    # peel is a single pass over a static degree heap.
+    degree = {v: hypergraph.degree(v) for v in remaining}
+    heap = [(deg, v) for v, deg in degree.items()]
+    heapq.heapify(heap)
+    order: List = []
+    seen: set = set()
+    d = 0
+    while heap:
+        deg, v = heapq.heappop(heap)
+        if v in seen:
+            continue
+        seen.add(v)
+        order.append(v)
+        d = max(d, deg)
+    return d, order
+
+
+def degeneracy(hypergraph: Hypergraph) -> int:
+    """The degeneracy ``d`` of Definition 3.3."""
+    return degeneracy_ordering(hypergraph)[0]
+
+
+def is_d_degenerate(hypergraph: Hypergraph, d: int) -> bool:
+    """True when every sub(hyper)graph has a vertex of degree <= ``d``."""
+    return degeneracy(hypergraph) <= d
+
+
+def simple_graph_degeneracy(hypergraph: Hypergraph) -> int:
+    """Degeneracy for an arity-<=2 hypergraph, with self-loops allowed.
+
+    For simple graphs the textbook notion (every subgraph has a vertex of
+    degree <= d, where removing a vertex also removes its incident edges)
+    differs from the hypergraph peel above because removing an endpoint
+    destroys a 2-ary edge entirely.  The paper's Section 4 uses this graph
+    notion; this function implements the classic dynamic peel.
+
+    Raises:
+        ValueError: if some hyperedge has arity > 2.
+    """
+    if hypergraph.arity > 2:
+        raise ValueError("simple_graph_degeneracy requires arity <= 2")
+    remaining = hypergraph.vertices
+    # adjacency with edge multiplicity via edge names
+    incident = {v: set(hypergraph.incident_edges(v)) for v in remaining}
+    edges = dict(hypergraph.edges())
+    d = 0
+    while remaining:
+        v = min(remaining, key=lambda u: len(incident[u]))
+        d = max(d, len(incident[v]))
+        remaining.discard(v)
+        for name in list(incident[v]):
+            for u in edges[name]:
+                if u != v and u in remaining:
+                    incident[u].discard(name)
+        incident.pop(v)
+    return d

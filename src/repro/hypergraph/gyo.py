@@ -1,0 +1,289 @@
+"""GYO reduction, acyclicity, and the core/forest decomposition.
+
+Implements Definition 2.6 (GYO-reduction / GYOA), Definition 2.5
+(acyclicity via GYO), Definition 2.7 (the split of ``H`` into a *core*
+``C(H)`` and a *forest* ``W(H)``) and Definition 3.1 (``n2(H)``).
+
+GYOA iterates two steps on a working copy of ``H``:
+
+  (a) eliminate a vertex present in only one hyperedge;
+  (b) delete a hyperedge contained in another hyperedge.
+
+The hyperedges deleted by step (b) form a forest of acyclic hypergraphs
+(each deleted edge has a *witness* edge containing its residual, which
+becomes its parent candidate).  ``H`` is acyclic iff GYOA empties it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .hypergraph import Hypergraph
+
+
+@dataclass
+class RemovedEdge:
+    """Record of one hyperedge deleted by GYOA step (b).
+
+    Attributes:
+        name: The hyperedge's name in the original ``H``.
+        original: Its original vertex set.
+        residual: Its (shrunk) vertex set at deletion time — the connector
+            it shares with the rest of the query.  Empty when the edge
+            survived to the very end (it is then a tree root).
+        witnesses: Names of edges that contained ``residual`` at deletion
+            time (valid parents in a GYO-GHD).
+        parent: The chosen parent among ``witnesses`` (None for roots).
+        order: Deletion timestamp (0-based).
+    """
+
+    name: str
+    original: FrozenSet
+    residual: FrozenSet
+    witnesses: Tuple[str, ...]
+    parent: Optional[str]
+    order: int
+
+
+@dataclass
+class GyoResult:
+    """Outcome of running GYOA on a hypergraph.
+
+    Attributes:
+        hypergraph: The input ``H``.
+        reduced_edges: Shrunk edges of the GYO-reduction ``H'`` keyed by
+            original name.  Empty iff ``H`` is acyclic.
+        removed: Deletion records, in deletion order.
+        eliminated_vertices: Vertices eliminated by step (a), in order.
+    """
+
+    hypergraph: Hypergraph
+    reduced_edges: Dict[str, FrozenSet]
+    removed: List[RemovedEdge]
+    eliminated_vertices: List = field(default_factory=list)
+
+    @property
+    def is_acyclic(self) -> bool:
+        """Definition 2.5: GYOA emptied ``H``."""
+        return not self.reduced_edges
+
+    def removed_by_name(self) -> Dict[str, RemovedEdge]:
+        return {r.name: r for r in self.removed}
+
+
+def gyo_reduce(hypergraph: Hypergraph) -> GyoResult:
+    """Run GYOA (Definition 2.6) and record the full elimination history.
+
+    Tie-breaking is deterministic (lexicographic on vertex / edge names) so
+    results are reproducible; Cohen-Kanza-Sagiv show the GYO-reduction
+    itself is unique regardless of order (Appendix C.1).
+    """
+    work: Dict[str, set] = {name: set(vs) for name, vs in hypergraph.edges()}
+    removed: List[RemovedEdge] = []
+    eliminated: List = []
+    order = 0
+
+    def vertex_locations() -> Dict[object, List[str]]:
+        locs: Dict[object, List[str]] = {}
+        for name, verts in work.items():
+            for v in verts:
+                locs.setdefault(v, []).append(name)
+        return locs
+
+    changed = True
+    while changed:
+        changed = False
+        # Step (a): eliminate vertices present in exactly one hyperedge.
+        locs = vertex_locations()
+        lonely = sorted(
+            (v for v, names in locs.items() if len(names) == 1),
+            key=str,
+        )
+        for v in lonely:
+            (home,) = locs[v]
+            if home in work and v in work[home]:
+                work[home].discard(v)
+                eliminated.append(v)
+                changed = True
+        # Drop edges that became empty: they survived to the end of their
+        # component and act as tree roots (no witness).
+        for name in sorted(n for n, vs in work.items() if not vs):
+            removed.append(
+                RemovedEdge(
+                    name=name,
+                    original=hypergraph.edge(name),
+                    residual=frozenset(),
+                    witnesses=(),
+                    parent=None,
+                    order=order,
+                )
+            )
+            order += 1
+            del work[name]
+            changed = True
+        # Step (b): delete one edge contained in another, then re-loop so
+        # vertex eliminations interleave as the definition prescribes.
+        names = sorted(work)
+        deleted_this_pass = False
+        for name in names:
+            if deleted_this_pass:
+                break
+            verts = work[name]
+            witnesses = tuple(
+                sorted(
+                    other
+                    for other in work
+                    if other != name and verts <= work[other]
+                )
+            )
+            if witnesses:
+                removed.append(
+                    RemovedEdge(
+                        name=name,
+                        original=hypergraph.edge(name),
+                        residual=frozenset(verts),
+                        witnesses=witnesses,
+                        parent=None,  # assigned by build_removal_forest
+                        order=order,
+                    )
+                )
+                order += 1
+                del work[name]
+                deleted_this_pass = True
+                changed = True
+
+    reduced = {name: frozenset(vs) for name, vs in work.items()}
+    result = GyoResult(hypergraph, reduced, removed, eliminated)
+    _assign_parents(result)
+    return result
+
+
+def _assign_parents(result: GyoResult) -> None:
+    """Choose a parent for each removed edge among its witnesses.
+
+    Preference order: a witness that was itself removed *later* (deepening
+    the removed forest, as in the Appendix C.2 walk-through where e5/e6
+    hang under the late-removed root e4), falling back to a witness that
+    survives in ``H'`` (the edge then roots its own tree under the core).
+    """
+    removal_order = {r.name: r.order for r in result.removed}
+    for rec in result.removed:
+        if not rec.witnesses:
+            rec.parent = None
+            continue
+        removed_later = [
+            w for w in rec.witnesses
+            if w in removal_order and removal_order[w] > rec.order
+        ]
+        if removed_later:
+            rec.parent = max(removed_later, key=lambda w: removal_order[w])
+        else:
+            in_core = [w for w in rec.witnesses if w in result.reduced_edges]
+            rec.parent = in_core[0] if in_core else None
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Definition 2.5 via GYO (alpha-acyclicity)."""
+    return gyo_reduce(hypergraph).is_acyclic
+
+
+@dataclass
+class Decomposition:
+    """The core/forest split of Definition 2.7.
+
+    Attributes:
+        hypergraph: The input ``H``.
+        gyo: The underlying GYO run.
+        core_edge_names: Names of edges belonging to the core ``C(H)``:
+            the GYO-reduction ``H'`` plus the root edge of every removed
+            tree (their vertices make up ``V(C(H))``).
+        forest_edge_names: Removed non-root edges, grouped per tree — the
+            forest ``W(H)``.
+        tree_roots: Root edge name per removed tree (parallel to
+            ``forest_trees``).
+        forest_trees: For each removed tree, mapping child edge name ->
+            parent edge name (the root maps to None).
+    """
+
+    hypergraph: Hypergraph
+    gyo: GyoResult
+    core_edge_names: Tuple[str, ...]
+    forest_edge_names: Tuple[str, ...]
+    tree_roots: Tuple[str, ...]
+    forest_trees: Tuple[Dict[str, Optional[str]], ...]
+
+    @property
+    def core_vertices(self) -> FrozenSet:
+        """``V(C(H))`` — vertices of ``H'`` plus the tree-root edges."""
+        verts: set = set()
+        for name in self.core_edge_names:
+            if name in self.gyo.reduced_edges:
+                verts |= self.gyo.reduced_edges[name]
+            verts |= self.hypergraph.edge(name)
+        return frozenset(verts)
+
+    @property
+    def n2(self) -> int:
+        """Definition 3.1: ``n2(H) = |V(C(H))|``."""
+        return len(self.core_vertices)
+
+    @property
+    def is_pure_forest(self) -> bool:
+        """True when ``H' = {}`` — i.e. ``H`` is acyclic."""
+        return self.gyo.is_acyclic
+
+
+def decompose(hypergraph: Hypergraph) -> Decomposition:
+    """Split ``H`` into core ``C(H)`` and forest ``W(H)`` (Definition 2.7).
+
+    The removed edges of GYOA are organized into trees by their parent
+    links; the root of every tree joins the core alongside the
+    GYO-reduction ``H'``, and everything else forms the forest — matching
+    the Appendix C.2 walk-through.
+    """
+    gyo = gyo_reduce(hypergraph)
+    by_name = gyo.removed_by_name()
+
+    def tree_root_of(name: str) -> str:
+        seen = {name}
+        cur = by_name[name]
+        while cur.parent is not None and cur.parent in by_name:
+            nxt = cur.parent
+            if nxt in seen:  # defensive: parent links should be acyclic
+                raise RuntimeError(f"cycle in GYO parent links at {nxt!r}")
+            seen.add(nxt)
+            cur = by_name[nxt]
+        return cur.name
+
+    trees: Dict[str, Dict[str, Optional[str]]] = {}
+    for rec in gyo.removed:
+        root = tree_root_of(rec.name)
+        tree = trees.setdefault(root, {})
+        parent = rec.parent if (rec.parent in by_name) else None
+        tree[rec.name] = parent if rec.name != root else None
+
+    tree_roots = tuple(sorted(trees))
+    core_names = tuple(sorted(set(gyo.reduced_edges) | set(tree_roots)))
+    forest_names = tuple(
+        sorted(
+            name
+            for root, tree in trees.items()
+            for name in tree
+            if name != root
+        )
+    )
+    forest_trees = tuple(trees[r] for r in tree_roots)
+    return Decomposition(
+        hypergraph=hypergraph,
+        gyo=gyo,
+        core_edge_names=core_names,
+        forest_edge_names=forest_names,
+        tree_roots=tree_roots,
+        forest_trees=forest_trees,
+    )
+
+
+def n2(hypergraph: Hypergraph) -> int:
+    """``n2(H)`` of Definition 3.1."""
+    return decompose(hypergraph).n2

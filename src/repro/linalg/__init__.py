@@ -1,0 +1,5 @@
+"""F2 linear algebra substrate for the MCM problem (Section 6)."""
+
+from . import f2
+
+__all__ = ["f2"]

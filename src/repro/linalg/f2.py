@@ -1,0 +1,104 @@
+"""F2 (GF(2)) linear algebra — the substrate of the MCM problem (Section 6).
+
+Vectors are numpy uint8 arrays of 0/1; matrices are ``N x N`` uint8 arrays.
+All arithmetic is mod 2.  Also provides rank/invertibility helpers used by
+the min-entropy experiments (Appendix H) and deterministic random
+generation for the MCM benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+def random_vector(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniform vector in F_2^n."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def random_matrix(n: int, rng: np.random.Generator, m: Optional[int] = None) -> np.ndarray:
+    """A uniform matrix in F_2^{m x n} (square when ``m`` is omitted)."""
+    rows = n if m is None else m
+    return rng.integers(0, 2, size=(rows, n), dtype=np.uint8)
+
+
+def matvec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """``A x`` over F_2."""
+    if matrix.shape[1] != vector.shape[0]:
+        raise ValueError(
+            f"shape mismatch: {matrix.shape} @ {vector.shape}"
+        )
+    return (matrix.astype(np.uint16) @ vector.astype(np.uint16) % 2).astype(np.uint8)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``A B`` over F_2."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    return (a.astype(np.uint16) @ b.astype(np.uint16) % 2).astype(np.uint8)
+
+
+def chain_product(matrices: Iterable[np.ndarray], vector: np.ndarray) -> np.ndarray:
+    """``A_k ... A_1 x`` — the MCM ground truth (Problem 1.1).
+
+    ``matrices`` is given in application order ``[A_1, ..., A_k]``.
+    """
+    y = np.array(vector, dtype=np.uint8)
+    for a in matrices:
+        y = matvec(a, y)
+    return y
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank over F_2 by Gaussian elimination."""
+    a = matrix.astype(np.uint8).copy() % 2
+    rows, cols = a.shape
+    r = 0
+    for c in range(cols):
+        pivot = None
+        for i in range(r, rows):
+            if a[i, c]:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        a[[r, pivot]] = a[[pivot, r]]
+        for i in range(rows):
+            if i != r and a[i, c]:
+                a[i] ^= a[r]
+        r += 1
+        if r == rows:
+            break
+    return r
+
+
+def is_invertible(matrix: np.ndarray) -> bool:
+    """True when a square matrix has full rank over F_2."""
+    rows, cols = matrix.shape
+    return rows == cols and rank(matrix) == rows
+
+
+def vector_to_bits(vector: np.ndarray) -> List[int]:
+    """A vector as a plain bit list (protocol payloads)."""
+    return [int(b) & 1 for b in vector]
+
+
+def bits_to_vector(bits: Iterable[int]) -> np.ndarray:
+    return np.fromiter((int(b) & 1 for b in bits), dtype=np.uint8)
+
+
+def pack_int(vector: np.ndarray) -> int:
+    """A vector as one Python integer (for hashing distributions)."""
+    out = 0
+    for b in vector:
+        out = (out << 1) | int(b)
+    return out
+
+
+def unpack_int(value: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_int`."""
+    return np.fromiter(
+        (((value >> (n - 1 - i)) & 1) for i in range(n)), dtype=np.uint8
+    )

@@ -1,0 +1,67 @@
+"""Lower-bound constructions: TRIBES reductions and bound formulas."""
+
+from .bounds import (
+    BoundReport,
+    bcq_bounds,
+    faq_bounds,
+    steiner_term,
+    structure_parameters,
+    table1_gap_budget,
+)
+from .cut_simulation import (
+    CutTranscript,
+    cut_transcript,
+    implied_round_lower_bound,
+    verify_cut_accounting,
+)
+from .core_embedding import (
+    CoreEmbedding,
+    core_embedding_capacity,
+    embed_tribes_in_core,
+    find_disjoint_cycles,
+    greedy_independent_set,
+)
+from .forest_embedding import (
+    ForestEmbedding,
+    embed_tribes_in_forest,
+    embedding_capacity,
+)
+from .hypergraph_embedding import (
+    HypergraphEmbedding,
+    embed_tribes_in_hypergraph,
+    strong_independent_set,
+)
+from .tribes import (
+    TribesInstance,
+    hard_tribes,
+    random_tribes,
+    tribes_round_lower_bound,
+)
+
+__all__ = [
+    "CutTranscript",
+    "cut_transcript",
+    "verify_cut_accounting",
+    "implied_round_lower_bound",
+    "TribesInstance",
+    "random_tribes",
+    "hard_tribes",
+    "tribes_round_lower_bound",
+    "ForestEmbedding",
+    "embed_tribes_in_forest",
+    "embedding_capacity",
+    "CoreEmbedding",
+    "embed_tribes_in_core",
+    "core_embedding_capacity",
+    "find_disjoint_cycles",
+    "greedy_independent_set",
+    "HypergraphEmbedding",
+    "embed_tribes_in_hypergraph",
+    "strong_independent_set",
+    "BoundReport",
+    "bcq_bounds",
+    "faq_bounds",
+    "steiner_term",
+    "structure_parameters",
+    "table1_gap_budget",
+]

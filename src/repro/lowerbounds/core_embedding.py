@@ -1,0 +1,296 @@
+"""Embedding TRIBES into cyclic cores — Theorem 4.4 / Lemma E.2.
+
+Lemma E.2: the core ``C(H)`` of a simple graph either contains many
+vertex-disjoint short cycles (found here by repeated shortest-cycle
+extraction, the constructive form of Moore's bound) or a large independent
+set (greedy min-degree removal, the constructive form of Turán's theorem).
+
+* **Cycle case**: each set pair ``(S_i, T_i)`` is re-encoded over
+  ``[√N] x [√N]``; ``R_{S_i}`` sits on cycle edge ``(c1, c2)``,
+  ``R_{T_i}`` (coordinates reversed) on ``(c2, c3)``, the remaining cycle
+  edges carry the identity relation ``{(a, a)}`` and all non-cycle edges
+  the complete relation — a satisfying assignment walks the intersection
+  element around the cycle.
+* **Independent-set case**: identical to the forest embedding of
+  Lemma 4.3 with the independent set playing ``O``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..hypergraph import Hypergraph
+from ..semiring import BOOLEAN, Factor
+from .tribes import TribesInstance
+
+
+def _as_nx(hypergraph: Hypergraph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(hypergraph.vertices)
+    for name, verts in hypergraph.edges():
+        vs = sorted(verts, key=str)
+        if len(vs) == 2:
+            g.add_edge(vs[0], vs[1], name=name)
+    return g
+
+
+def find_disjoint_cycles(hypergraph: Hypergraph) -> List[List[str]]:
+    """Greedy vertex-disjoint short cycles (the Lemma E.2 cycle harvest).
+
+    Repeatedly finds a shortest cycle (via per-edge BFS) and removes its
+    vertices; each harvested cycle is returned as an ordered vertex list.
+    """
+    g = _as_nx(hypergraph)
+    cycles: List[List[str]] = []
+    while True:
+        cycle = _shortest_cycle(g)
+        if cycle is None:
+            return cycles
+        cycles.append(cycle)
+        g.remove_nodes_from(cycle)
+
+
+def _shortest_cycle(g: nx.Graph) -> Optional[List[str]]:
+    best: Optional[List[str]] = None
+    for u, v in sorted(g.edges, key=lambda e: tuple(map(str, e))):
+        g.remove_edge(u, v)
+        try:
+            path = nx.shortest_path(g, u, v)
+        except nx.NetworkXNoPath:
+            path = None
+        g.add_edge(u, v)
+        if path is not None and (best is None or len(path) < len(best)):
+            best = path
+    return best
+
+
+def greedy_independent_set(
+    hypergraph: Hypergraph, require_degree_two: bool = True
+) -> List[str]:
+    """A maximal independent set by min-degree peeling (Turán-style).
+
+    Args:
+        require_degree_two: Keep only vertices with >= 2 incident edges in
+            the original graph (they carry two planted relations).
+    """
+    g = _as_nx(hypergraph)
+    out: List[str] = []
+    work = g.copy()
+    while work.number_of_nodes():
+        v = min(work.nodes, key=lambda u: (work.degree(u), str(u)))
+        out.append(v)
+        neighbors = list(work.neighbors(v))
+        work.remove_node(v)
+        work.remove_nodes_from(neighbors)
+    if require_degree_two:
+        out = [v for v in out if g.degree(v) >= 2]
+    return sorted(out, key=str)
+
+
+@dataclass
+class CoreEmbedding:
+    """A TRIBES -> BCQ embedding into a cyclic simple graph (Theorem 4.4).
+
+    Attributes:
+        hypergraph: The (core) query graph.
+        factors: The constructed relations.
+        domains: Per-variable domains.
+        mode: ``"cycles"`` or ``"independent-set"``.
+        sites: The cycles (vertex lists) or the independent-set vertices
+            used, in pair order.
+        s_edges / t_edges: The edges carrying Alice's / Bob's sets.
+        tribes: The embedded instance.
+    """
+
+    hypergraph: Hypergraph
+    factors: Dict[str, Factor]
+    domains: Dict[str, Tuple]
+    mode: str
+    sites: Tuple
+    s_edges: Tuple[str, ...]
+    t_edges: Tuple[str, ...]
+    tribes: TribesInstance
+
+
+def core_embedding_capacity(hypergraph: Hypergraph) -> Tuple[str, int]:
+    """``(mode, capacity)``: how many pairs the Theorem 4.4 embedding fits."""
+    cycles = find_disjoint_cycles(hypergraph)
+    independent = greedy_independent_set(hypergraph)
+    if len(cycles) >= len(independent):
+        return "cycles", len(cycles)
+    return "independent-set", len(independent)
+
+
+def embed_tribes_in_core(
+    hypergraph: Hypergraph, tribes: TribesInstance
+) -> CoreEmbedding:
+    """Construct the Theorem 4.4 BCQ instance for a cyclic simple graph.
+
+    Chooses the larger of the cycle / independent-set embeddings.  For the
+    cycle case the universe must be a perfect square (pairs are re-encoded
+    over ``[√N]²``); pad the TRIBES universe accordingly.
+
+    Raises:
+        ValueError: if arity > 2, too few sites, or (cycle mode) the
+            universe size is not a perfect square.
+    """
+    if hypergraph.arity > 2:
+        raise ValueError("core embedding requires arity <= 2")
+    mode, capacity = core_embedding_capacity(hypergraph)
+    if tribes.m > capacity:
+        raise ValueError(
+            f"TRIBES has m={tribes.m} pairs but the core embeds {capacity}"
+        )
+    if mode == "cycles":
+        return _embed_on_cycles(hypergraph, tribes)
+    return _embed_on_independent_set(hypergraph, tribes)
+
+
+def _edge_lookup(hypergraph: Hypergraph) -> Dict[frozenset, str]:
+    return {verts: name for name, verts in hypergraph.edges()}
+
+
+def _embed_on_cycles(
+    hypergraph: Hypergraph, tribes: TribesInstance
+) -> CoreEmbedding:
+    n = tribes.universe_size
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ValueError(
+            f"cycle embedding needs a square universe size; got {n}"
+        )
+
+    def split(value: int) -> Tuple[int, int]:
+        return (value // side, value % side)
+
+    cycles = find_disjoint_cycles(hypergraph)[: tribes.m]
+    lookup = _edge_lookup(hypergraph)
+    domain = tuple(range(side))
+    domains = {v: domain for v in hypergraph.vertices}
+    factors: Dict[str, Factor] = {}
+    s_edges: List[str] = []
+    t_edges: List[str] = []
+
+    for cycle, (s_set, t_set) in zip(cycles, tribes.pairs):
+        c = list(cycle)
+        ordered = c + [c[0]]
+        edges = [
+            lookup[frozenset((ordered[i], ordered[i + 1]))]
+            for i in range(len(c))
+        ]
+        # R_S on (c1, c2): pairs split(v); R_T on (c2, c3) with reversed
+        # coordinates; identity on the remaining cycle edges.
+        s_edge, t_edge = edges[0], edges[1]
+        s_schema = tuple(sorted((c[0], c[1]), key=str))
+        t_schema = tuple(sorted((c[1], c[2 % len(c)]), key=str))
+        factors[s_edge] = _pair_factor(
+            s_schema, c[0], c[1], [split(v) for v in sorted(s_set)], s_edge
+        )
+        factors[t_edge] = _pair_factor(
+            t_schema, c[2 % len(c)], c[1], [split(v) for v in sorted(t_set)],
+            t_edge,
+        )
+        for name in edges[2:]:
+            verts = tuple(sorted(hypergraph.edge(name), key=str))
+            factors[name] = Factor.from_tuples(
+                verts, [(a, a) for a in domain], BOOLEAN, name
+            )
+        s_edges.append(s_edge)
+        t_edges.append(t_edge)
+
+    for name, verts in hypergraph.edges():
+        if name in factors:
+            continue
+        schema = tuple(sorted(verts, key=str))
+        factors[name] = Factor.constant_one(
+            schema, {v: domain for v in schema}, BOOLEAN, name
+        )
+    return CoreEmbedding(
+        hypergraph=hypergraph,
+        factors=factors,
+        domains=domains,
+        mode="cycles",
+        sites=tuple(tuple(c) for c in cycles),
+        s_edges=tuple(s_edges),
+        t_edges=tuple(t_edges),
+        tribes=tribes,
+    )
+
+
+def _pair_factor(
+    schema: Tuple[str, str],
+    first_var: str,
+    second_var: str,
+    pairs: List[Tuple[int, int]],
+    name: str,
+) -> Factor:
+    """A binary relation holding ``pairs`` with (first, second) semantics."""
+    tuples = []
+    for a, b in pairs:
+        row = {first_var: a, second_var: b}
+        tuples.append(tuple(row[v] for v in schema))
+    return Factor.from_tuples(schema, tuples, BOOLEAN, name)
+
+
+def _embed_on_independent_set(
+    hypergraph: Hypergraph, tribes: TribesInstance
+) -> CoreEmbedding:
+    n = tribes.universe_size
+    filler = 0
+    domain = tuple(range(n))
+    domains = {v: domain for v in hypergraph.vertices}
+    chosen = greedy_independent_set(hypergraph)[: tribes.m]
+    factors: Dict[str, Factor] = {}
+    s_edges: List[str] = []
+    t_edges: List[str] = []
+    planted: Set[str] = set()
+
+    for o, (s_set, t_set) in zip(chosen, tribes.pairs):
+        incident = sorted(hypergraph.incident_edges(o))
+        s_edge, t_edge = incident[0], incident[1]
+        for edge, values in ((s_edge, sorted(s_set)), (t_edge, sorted(t_set))):
+            schema = tuple(sorted(hypergraph.edge(edge), key=str))
+            idx = schema.index(o)
+            tuples = []
+            for value in values:
+                row = [filler] * len(schema)
+                row[idx] = value
+                tuples.append(tuple(row))
+            factors[edge] = Factor.from_tuples(schema, tuples, BOOLEAN, edge)
+        planted.update((s_edge, t_edge))
+        s_edges.append(s_edge)
+        t_edges.append(t_edge)
+
+    chosen_set = set(chosen)
+    for name, verts in hypergraph.edges():
+        if name in planted:
+            continue
+        schema = tuple(sorted(verts, key=str))
+        touching = [v for v in schema if v in chosen_set]
+        if touching:
+            o = touching[0]
+            idx = schema.index(o)
+            tuples = []
+            for value in domain:
+                row = [filler] * len(schema)
+                row[idx] = value
+                tuples.append(tuple(row))
+            factors[name] = Factor.from_tuples(schema, tuples, BOOLEAN, name)
+        else:
+            factors[name] = Factor.from_tuples(
+                schema, [tuple(filler for _ in schema)], BOOLEAN, name
+            )
+    return CoreEmbedding(
+        hypergraph=hypergraph,
+        factors=factors,
+        domains=domains,
+        mode="independent-set",
+        sites=tuple(chosen),
+        s_edges=tuple(s_edges),
+        t_edges=tuple(t_edges),
+        tribes=tribes,
+    )

@@ -1,0 +1,45 @@
+"""Topologies, cuts, Steiner packing, flow bounds and the round simulator."""
+
+from .flows import routing_demand, sparsity_bound, tau_mcf, tau_mcf_bits
+from .mincut import mincut, mincut_partition
+from .simulator import (
+    CapacityExceeded,
+    Message,
+    NodeContext,
+    SimulationError,
+    SimulationResult,
+    Simulator,
+    passive_relay,
+    run_protocol,
+)
+from .steiner import (
+    SteinerTree,
+    find_steiner_tree,
+    optimize_delta,
+    pack_steiner_trees,
+    st_value,
+)
+from .topology import Topology
+
+__all__ = [
+    "Topology",
+    "mincut",
+    "mincut_partition",
+    "SteinerTree",
+    "find_steiner_tree",
+    "pack_steiner_trees",
+    "st_value",
+    "optimize_delta",
+    "tau_mcf",
+    "tau_mcf_bits",
+    "routing_demand",
+    "sparsity_bound",
+    "Simulator",
+    "SimulationResult",
+    "Message",
+    "NodeContext",
+    "CapacityExceeded",
+    "SimulationError",
+    "passive_relay",
+    "run_protocol",
+]

@@ -1,0 +1,93 @@
+"""Multicommodity-flow routing bounds — Definition 3.12's ``τ_MCF``.
+
+``τ_MCF(G, K, N')`` is the number of rounds needed to route
+``N' * log2(N')`` bits from the players of ``K`` to one designated player
+when ``log2(N')`` bits cross each edge per round.  Appendix D.1 shows this
+is ``Θ̃(N'/MinCut(G, K))`` (plus a distance term) under worst-case
+assignment, via Leighton–Rao sparsest-cut scheduling.  This module
+provides that closed form; the *measured* counterpart is the
+store-and-forward routing protocol in :mod:`repro.protocols.trivial`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+from .mincut import mincut
+from .topology import Topology
+
+
+def tau_mcf(
+    topology: Topology,
+    players: Sequence[str],
+    n_prime: int,
+    sink: Optional[str] = None,
+) -> int:
+    """The Definition 3.12 / Appendix D.1 round bound.
+
+    Args:
+        topology: The communication graph.
+        players: The players ``K`` holding the data.
+        n_prime: The ``N'`` of Definition 3.12 — ``N' log N'`` bits total
+            are routed, ``log N'`` bits per edge per round.
+        sink: The receiving player (defaults to the first of ``K``); only
+            the distance term depends on it.
+
+    Returns:
+        ``ceil(N' / MinCut(G, K)) + max-distance(K, sink)`` rounds.
+    """
+    terminals = sorted(set(players))
+    if n_prime <= 0:
+        return 0
+    sink = sink or terminals[0]
+    if len(terminals) < 2:
+        return 0 if sink in terminals else topology.distance(terminals[0], sink)
+    cut = mincut(topology, terminals + [sink])
+    distance = max(topology.distance(p, sink) for p in terminals)
+    return math.ceil(n_prime / cut) + distance
+
+
+def tau_mcf_bits(
+    topology: Topology,
+    players: Sequence[str],
+    total_bits: int,
+    bits_per_round: int,
+    sink: Optional[str] = None,
+) -> int:
+    """``τ_MCF`` in raw bit units: route ``total_bits`` at ``bits_per_round``
+    per edge per round — the form protocol planners use directly."""
+    terminals = sorted(set(players))
+    if total_bits <= 0:
+        return 0
+    sink = sink or terminals[0]
+    others = [p for p in terminals if p != sink]
+    if not others:
+        return 0
+    cut = mincut(topology, terminals if len(terminals) >= 2 else terminals + [sink])
+    distance = max(topology.distance(p, sink) for p in others)
+    return math.ceil(total_bits / (bits_per_round * cut)) + distance
+
+
+def routing_demand(
+    holdings_bits: Dict[str, int], sink: str
+) -> int:
+    """Total bits that must move: everything not already at the sink."""
+    return sum(bits for player, bits in holdings_bits.items() if player != sink)
+
+
+def sparsity_bound(
+    topology: Topology,
+    players: Sequence[str],
+    total_bits: int,
+    bits_per_round: int,
+) -> float:
+    """The Leighton–Rao style lower estimate used in Appendix D.1.
+
+    ``total_bits / (bits_per_round * MinCut(G, K))`` — any routing schedule
+    needs at least this many rounds when all demand crosses the min cut.
+    """
+    terminals = sorted(set(players))
+    if len(terminals) < 2 or total_bits <= 0:
+        return 0.0
+    return total_bits / (bits_per_round * mincut(topology, terminals))

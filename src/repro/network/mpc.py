@@ -1,0 +1,112 @@
+"""The MPC comparison topologies — Appendix A.
+
+Appendix A argues the basic MPC model (MPC(0), Model A.1) is captured by
+Model 2.1 instantiated on a specific topology ``G'``: ``k`` input nodes,
+each holding one relation, all directly connected to every node of a
+``p``-clique of workers.  With per-edge capacity ``L' = L/k = N/p``
+(eq. (13)), the paper's Steiner-packing protocol recovers MPC(0)'s
+O(1)-round star joins (Section A.1.4): the packing contains ``p``
+diameter-2 trees (one per worker), so
+
+    min_Δ ( N / ST(G',K,Δ) + Δ ) = O(N / p),
+
+which divided by the edge capacity ``L'`` is O(1) rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .steiner import SteinerTree
+from .topology import Topology
+
+
+def input_node(i: int) -> str:
+    """Name of the i-th MPC input node (holds relation i)."""
+    return f"I{i}"
+
+
+def worker_node(j: int) -> str:
+    """Name of the j-th MPC worker (clique) node."""
+    return f"W{j}"
+
+
+def build_mpc0_topology(k: int, p: int) -> Topology:
+    """The MPC(0) network ``G'`` of Model A.1.
+
+    ``k`` input nodes (no edges among them), each adjacent to all ``p``
+    workers; the workers form a clique.
+
+    Raises:
+        ValueError: for k < 1 or p < 1.
+    """
+    if k < 1 or p < 1:
+        raise ValueError("need k >= 1 input nodes and p >= 1 workers")
+    edges: List[Tuple[str, str]] = []
+    for i in range(k):
+        for j in range(p):
+            edges.append((input_node(i), worker_node(j)))
+    for a in range(p):
+        for b in range(a + 1, p):
+            edges.append((worker_node(a), worker_node(b)))
+    return Topology(edges, name=f"mpc0(k{k},p{p})")
+
+
+def mpc_edge_capacity(k: int, n: int, p: int) -> int:
+    """Equation (13): ``L' = L/k = N/p`` bits per edge per round."""
+    return max(1, math.ceil(n / p))
+
+
+def mpc_star_packing(k: int, p: int) -> List[SteinerTree]:
+    """Section A.1.4's explicit packing: ``p`` diameter-2 Steiner trees.
+
+    Tree ``j`` is worker ``W_j`` plus its ``k`` edges to the input nodes —
+    pairwise edge-disjoint by construction, terminal diameter 2.
+    """
+    terminals = tuple(sorted(input_node(i) for i in range(k)))
+    trees = []
+    for j in range(p):
+        edges = tuple(
+            sorted(
+                tuple(sorted((input_node(i), worker_node(j))))
+                for i in range(k)
+            )
+        )
+        trees.append(SteinerTree(edges, terminals[0], terminals))
+    return trees
+
+
+@dataclass
+class MPCComparison:
+    """The Appendix A.1.4 bound comparison for one (k, p, N) triple.
+
+    Attributes:
+        steiner_rounds: ``min_Δ(N/ST + Δ)`` with the explicit packing
+            (in tuple units).
+        rounds_at_mpc_capacity: The same divided by ``L' = N/p`` — the
+            O(1) figure the appendix derives.
+    """
+
+    k: int
+    p: int
+    n: int
+    steiner_rounds: float
+    rounds_at_mpc_capacity: float
+
+
+def compare_star_bounds(k: int, p: int, n: int) -> MPCComparison:
+    """Compute the Appendix A.1.4 numbers for a star query on MPC(0)."""
+    packing = mpc_star_packing(k, p)
+    st = len(packing)
+    delta = max(t.terminal_diameter() for t in packing)
+    steiner_rounds = n / st + delta
+    capacity = mpc_edge_capacity(k, n, p)
+    return MPCComparison(
+        k=k,
+        p=p,
+        n=n,
+        steiner_rounds=steiner_rounds,
+        rounds_at_mpc_capacity=steiner_rounds / capacity + delta,
+    )

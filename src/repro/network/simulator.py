@@ -1,0 +1,291 @@
+"""Synchronous round-based network simulator — Model 2.1.
+
+The model: a synchronous network ``G`` where, in each round, at most ``B``
+bits (the paper's ``O(r * log2 D)``) traverse each edge *per direction*;
+messages sent in round ``t`` are readable in round ``t + 1``; internal
+computation is free; all nodes know ``H``, ``G`` and the protocol.
+
+Protocols are written as one generator per node: the node reads
+``ctx.inbox``, calls ``ctx.send(...)`` any number of times (subject to the
+per-edge capacity) and ``yield``s to end its round.  The simulator runs all
+generators in lockstep, enforces capacities, delivers messages, counts
+rounds and accounts every bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+from .topology import Topology
+
+
+class CapacityExceeded(RuntimeError):
+    """A node tried to push more than ``B`` bits over an edge in one round."""
+
+
+class SimulationError(RuntimeError):
+    """The simulation violated an invariant (deadlock, round cap, ...)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    Attributes:
+        src: Sending node.
+        dst: Receiving node (a neighbor of ``src``).
+        bits: Size charged against the edge capacity (>= 1).
+        payload: Arbitrary Python payload (the simulator never inspects it;
+            ``bits`` is the ground truth for accounting).
+        tag: Protocol-defined routing label (e.g. which Steiner tree or
+            which stream a word belongs to).
+        sent_round: 1-based round in which the message was sent.
+    """
+
+    src: str
+    dst: str
+    bits: int
+    payload: Any
+    tag: str = ""
+    sent_round: int = 0
+
+
+class NodeContext:
+    """Per-node API handed to protocol generators.
+
+    Attributes:
+        node: This node's name.
+        topology: The shared topology (read-only by convention).
+        capacity: Per-edge per-direction bits per round (``B``).
+        inbox: Messages delivered this round (sent in the previous round).
+        round: The current 1-based round number.
+    """
+
+    def __init__(self, node: str, topology: Topology, capacity: int) -> None:
+        self.node = node
+        self.topology = topology
+        self.capacity = capacity
+        self.inbox: List[Message] = []
+        self.round = 0
+        self._outbox: List[Message] = []
+        self._sent_bits_this_round: Dict[str, int] = {}
+
+    def send(self, dst: str, bits: int, payload: Any = None, tag: str = "") -> None:
+        """Queue a message to a neighbor for delivery next round.
+
+        Raises:
+            ValueError: if ``dst`` is not a neighbor or ``bits < 1``.
+            CapacityExceeded: if the edge's per-round budget is exhausted.
+        """
+        if bits < 1:
+            raise ValueError(f"messages must carry at least 1 bit, got {bits}")
+        if not self.topology.has_edge(self.node, dst):
+            raise ValueError(f"{self.node} -> {dst}: not an edge of G")
+        used = self._sent_bits_this_round.get(dst, 0)
+        if used + bits > self.capacity:
+            raise CapacityExceeded(
+                f"round {self.round}: {self.node}->{dst} would carry "
+                f"{used + bits} bits > capacity {self.capacity}"
+            )
+        self._sent_bits_this_round[dst] = used + bits
+        self._outbox.append(
+            Message(self.node, dst, bits, payload, tag, self.round)
+        )
+
+    def remaining_capacity(self, dst: str) -> int:
+        """Bits still sendable to ``dst`` this round."""
+        return self.capacity - self._sent_bits_this_round.get(dst, 0)
+
+    def messages(self, tag: Optional[str] = None, src: Optional[str] = None) -> List[Message]:
+        """Filter this round's inbox by tag and/or sender."""
+        out = self.inbox
+        if tag is not None:
+            out = [m for m in out if m.tag == tag]
+        if src is not None:
+            out = [m for m in out if m.src == src]
+        return list(out)
+
+    # -- internal hooks -------------------------------------------------
+    def _begin_round(self, round_no: int, inbox: List[Message]) -> None:
+        self.round = round_no
+        self.inbox = inbox
+        self._outbox = []
+        self._sent_bits_this_round = {}
+
+    def _collect(self) -> List[Message]:
+        out = self._outbox
+        self._outbox = []
+        return out
+
+
+ProcessFactory = Callable[[NodeContext], Generator[None, None, Any]]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one protocol run.
+
+    Attributes:
+        rounds: Number of communication rounds used — the largest round
+            index in which any message was sent (computation-only trailing
+            rounds are free, per Model 2.1).
+        total_bits: Total bits carried over all edges in all rounds.
+        total_messages: Message count.
+        outputs: Return value of each node's generator.
+        edge_bits: Bits per undirected edge (sorted pair) over the run.
+        max_inflight_round: The last round in which a message was
+            *delivered* (diagnostics).
+    """
+
+    rounds: int
+    total_bits: int
+    total_messages: int
+    outputs: Dict[str, Any]
+    edge_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    max_inflight_round: int = 0
+
+    def output_of(self, node: str) -> Any:
+        return self.outputs.get(node)
+
+
+class Simulator:
+    """Runs a set of per-node generators over a topology in lockstep.
+
+    Args:
+        topology: The communication graph ``G``.
+        capacity_bits: Per-edge per-direction bits per round (``B``).
+        max_rounds: Hard cap; exceeding it raises :class:`SimulationError`
+            (a protocol bug or deadlock).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        capacity_bits: int,
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        if capacity_bits < 1:
+            raise ValueError("capacity must be at least 1 bit per round")
+        self.topology = topology
+        self.capacity_bits = capacity_bits
+        self.max_rounds = max_rounds
+
+    def run(self, processes: Dict[str, ProcessFactory]) -> SimulationResult:
+        """Execute one protocol.
+
+        Args:
+            processes: One generator factory per participating node; nodes
+                of ``G`` absent from the dict are passive (they never send;
+                for relay roles, include them explicitly).
+
+        Returns:
+            A :class:`SimulationResult` with exact round/bit accounting.
+
+        Raises:
+            SimulationError: on deadlock (undelivered messages to finished
+                nodes are tolerated, but live generators that never finish
+                within ``max_rounds`` are not).
+        """
+        unknown = [n for n in processes if n not in self.topology]
+        if unknown:
+            raise ValueError(f"processes for nodes not in G: {unknown}")
+
+        contexts = {
+            node: NodeContext(node, self.topology, self.capacity_bits)
+            for node in processes
+        }
+        generators: Dict[str, Generator] = {}
+        outputs: Dict[str, Any] = {}
+        for node, factory in processes.items():
+            gen = factory(contexts[node])
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    f"process for {node!r} must be a generator function"
+                )
+            generators[node] = gen
+
+        pending: List[Message] = []
+        total_bits = 0
+        total_messages = 0
+        last_send_round = 0
+        last_delivery_round = 0
+        edge_bits: Dict[Tuple[str, str], int] = {}
+
+        round_no = 0
+        while True:
+            round_no += 1
+            if round_no > self.max_rounds:
+                raise SimulationError(
+                    f"exceeded max_rounds={self.max_rounds}; live nodes: "
+                    f"{sorted(generators)}"
+                )
+            # Deliver messages sent last round.
+            inboxes: Dict[str, List[Message]] = {n: [] for n in contexts}
+            for msg in pending:
+                if msg.dst in inboxes:
+                    inboxes[msg.dst].append(msg)
+                # Messages to passive/finished nodes are dropped silently —
+                # a protocol bug surfaces as a deadlock or wrong output.
+            if pending:
+                last_delivery_round = round_no
+            pending = []
+
+            # Step every live generator once (deterministic order).
+            finished: List[str] = []
+            for node in sorted(generators):
+                ctx = contexts[node]
+                ctx._begin_round(round_no, inboxes[node])
+                try:
+                    next(generators[node])
+                except StopIteration as stop:
+                    outputs[node] = stop.value
+                    finished.append(node)
+                sent = ctx._collect()
+                for msg in sent:
+                    total_bits += msg.bits
+                    total_messages += 1
+                    key = tuple(sorted((msg.src, msg.dst)))
+                    edge_bits[key] = edge_bits.get(key, 0) + msg.bits
+                    last_send_round = round_no
+                pending.extend(sent)
+            for node in finished:
+                del generators[node]
+
+            if not generators and not pending:
+                break
+
+        return SimulationResult(
+            rounds=last_send_round,
+            total_bits=total_bits,
+            total_messages=total_messages,
+            outputs=outputs,
+            edge_bits=edge_bits,
+            max_inflight_round=last_delivery_round,
+        )
+
+
+def passive_relay(ctx: NodeContext) -> Generator[None, None, None]:
+    """A process that never sends — a placeholder participant."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+def run_protocol(
+    topology: Topology,
+    processes: Dict[str, ProcessFactory],
+    capacity_bits: int,
+    max_rounds: int = 1_000_000,
+    include_all_nodes: Iterable[str] = (),
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run once.
+
+    Args:
+        include_all_nodes: Extra nodes to register as passive relays so
+            messages to them are not dropped (rarely needed; routing
+            protocols register their own relay processes).
+    """
+    procs = dict(processes)
+    for node in include_all_nodes:
+        procs.setdefault(node, passive_relay)
+    return Simulator(topology, capacity_bits, max_rounds).run(procs)

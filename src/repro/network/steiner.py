@@ -1,0 +1,286 @@
+"""Steiner trees and edge-disjoint Steiner tree packing.
+
+Implements Definition 3.8 (Steiner trees for a terminal set ``K``),
+Definition 3.9 (``ST(G, K, Δ)``: the maximum number of edge-disjoint
+Steiner trees of terminal diameter at most Δ) and the workhorse behind
+Theorem 3.11's set-intersection protocol: the packing determines how an
+N-bit vector is split into parallel aggregation channels.
+
+The packer is greedy — Theorem 3.10 (Lau) guarantees Ω(MinCut(G, K))
+edge-disjoint trees exist at unbounded diameter, and the greedy packer
+achieves that order on the paper's topologies (lines, cliques, grids,
+regular graphs); benches check shape, not exact constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+from networkx.algorithms.approximation import steiner_tree as nx_steiner_tree
+
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class SteinerTree:
+    """One Steiner tree: edges plus a designated root.
+
+    Attributes:
+        edges: Tree edges, each a sorted pair.
+        root: The terminal the protocols aggregate toward.
+        terminals: The terminal set ``K`` it spans.
+    """
+
+    edges: Tuple[Tuple[str, str], ...]
+    root: str
+    terminals: Tuple[str, ...]
+
+    @property
+    def nodes(self) -> set:
+        out = set()
+        for u, v in self.edges:
+            out.add(u)
+            out.add(v)
+        if not out:
+            out = {self.root}
+        return out
+
+    def parent_map(self) -> Dict[str, Optional[str]]:
+        """Parent pointers toward ``root`` (root maps to None)."""
+        adjacency: Dict[str, List[str]] = {}
+        for u, v in self.edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        parents: Dict[str, Optional[str]] = {self.root: None}
+        frontier = [self.root]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for nb in sorted(adjacency.get(node, ())):
+                    if nb not in parents:
+                        parents[nb] = node
+                        nxt.append(nb)
+            frontier = nxt
+        return parents
+
+    def depth(self) -> int:
+        """Maximum hop count from any tree node to the root."""
+        parents = self.parent_map()
+        best = 0
+        for node in parents:
+            d = 0
+            cur = node
+            while parents[cur] is not None:
+                cur = parents[cur]
+                d += 1
+            best = max(best, d)
+        return best
+
+    def terminal_diameter(self) -> int:
+        """Max tree distance between two terminals (Definition 3.9's Δ)."""
+        g = nx.Graph(list(self.edges))
+        if g.number_of_nodes() == 0:
+            return 0
+        best = 0
+        for i, s in enumerate(self.terminals):
+            lengths = nx.single_source_shortest_path_length(g, s)
+            for t in self.terminals[i + 1:]:
+                best = max(best, lengths[t])
+        return best
+
+
+def _prune_to_steiner(tree_edges, terminals) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Iteratively drop non-terminal leaves from a tree edge set."""
+    adjacency: Dict[str, set] = {}
+    for u, v in tree_edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    terminal_set = set(terminals)
+    if not terminal_set <= set(adjacency) and len(terminal_set) > 1:
+        return None
+    changed = True
+    while changed:
+        changed = False
+        for node in list(adjacency):
+            if node not in terminal_set and len(adjacency[node]) == 1:
+                (nb,) = adjacency[node]
+                adjacency[nb].discard(node)
+                del adjacency[node]
+                changed = True
+    edges = set()
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            edges.add(tuple(sorted((u, v))))
+    return tuple(sorted(edges))
+
+
+def _candidate_trees(
+    g: nx.Graph, terminals: Sequence[str]
+) -> List[Tuple[Tuple[str, str], ...]]:
+    """Candidate Steiner trees in ``g``: the metric-closure approximation
+    plus pruned BFS and DFS spanning trees rooted at each terminal.
+
+    BFS trees are shallow (good Δ), DFS trees are path-like (they spread
+    edge usage, which is what lets the greedy packer find multiple
+    edge-disjoint trees on well-connected graphs like the Figure 2
+    clique)."""
+    out: List[Tuple[Tuple[str, str], ...]] = []
+    try:
+        approx = nx_steiner_tree(g, list(terminals))
+        if all(t in approx for t in terminals):
+            pruned = _prune_to_steiner(list(approx.edges), terminals)
+            if pruned is not None:
+                out.append(pruned)
+    except (nx.NetworkXError, KeyError):
+        pass
+    component = None
+    for root in terminals:
+        if root not in g:
+            return out
+        if component is None:
+            component = set(nx.node_connected_component(g, root))
+        if any(t not in component for t in terminals):
+            return []
+        for tree_edges in (
+            list(nx.bfs_tree(g, root).edges),
+            list(nx.dfs_tree(g, root).edges),
+        ):
+            pruned = _prune_to_steiner(tree_edges, terminals)
+            if pruned:
+                out.append(pruned)
+    # Dedup.
+    seen = set()
+    unique = []
+    for edges in out:
+        if edges not in seen:
+            seen.add(edges)
+            unique.append(edges)
+    return unique
+
+
+def find_steiner_tree(
+    topology: Topology, terminals: Sequence[str], graph: Optional[nx.Graph] = None
+) -> Optional[SteinerTree]:
+    """One Steiner tree for ``terminals`` in ``graph`` (default: all of G).
+
+    Returns None when the terminals are not connected in the residual
+    graph.
+    """
+    g = graph if graph is not None else topology.graph
+    terminals = sorted(set(terminals))
+    if len(terminals) == 1:
+        return SteinerTree((), terminals[0], tuple(terminals))
+    candidates = _candidate_trees(g, terminals)
+    if not candidates:
+        return None
+    edges = candidates[0]
+    return SteinerTree(tuple(edges), terminals[0], tuple(terminals))
+
+
+def pack_steiner_trees(
+    topology: Topology,
+    terminals: Sequence[str],
+    max_diameter: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[SteinerTree]:
+    """Greedy edge-disjoint Steiner tree packing (Definition 3.9).
+
+    Repeatedly extracts a Steiner tree from the residual graph, keeping
+    only trees whose terminal diameter is within ``max_diameter``.
+
+    Args:
+        topology: The communication graph.
+        terminals: The terminal set ``K``.
+        max_diameter: The Δ bound (None = |V|, i.e. unbounded).
+        limit: Optional cap on the number of trees.
+
+    Returns:
+        A (possibly empty) list of edge-disjoint Steiner trees.
+    """
+    residual = topology.graph.copy()
+    delta = max_diameter if max_diameter is not None else topology.num_nodes
+    terminals = sorted(set(terminals))
+    packed: List[SteinerTree] = []
+    if len(terminals) == 1:
+        return [SteinerTree((), terminals[0], tuple(terminals))]
+    while limit is None or len(packed) < limit:
+        candidates = [
+            SteinerTree(edges, terminals[0], tuple(terminals))
+            for edges in _candidate_trees(residual, terminals)
+        ]
+        candidates = [
+            t for t in candidates if t.terminal_diameter() <= delta
+        ]
+        if not candidates:
+            break
+        # Prefer the tree whose removal keeps the terminals best connected
+        # (max-min residual terminal degree), breaking ties toward fewer
+        # edges — this is what finds the two edge-disjoint paths of
+        # Example 2.3 on the clique.
+        def score(tree: SteinerTree):
+            used = set(tree.edges)
+            min_degree = min(
+                sum(
+                    1
+                    for nb in residual.neighbors(t)
+                    if tuple(sorted((t, nb))) not in used
+                )
+                for t in terminals
+            )
+            return (min_degree, -len(tree.edges))
+
+        best = max(candidates, key=score)
+        packed.append(best)
+        if not best.edges:
+            break
+        residual.remove_edges_from(best.edges)
+    return packed
+
+
+def st_value(
+    topology: Topology, terminals: Sequence[str], max_diameter: Optional[int] = None
+) -> int:
+    """``ST(G, K, Δ)`` as achieved by the greedy packer."""
+    return len(pack_steiner_trees(topology, terminals, max_diameter))
+
+
+def optimize_delta(
+    topology: Topology,
+    terminals: Sequence[str],
+    total_words: int,
+) -> Tuple[int, List[SteinerTree], int]:
+    """Minimize ``ceil(total_words / ST(G,K,Δ)) + Δ`` over Δ (Theorem 3.11).
+
+    Scans Δ over the terminal diameter up to |V| on a geometric grid (the
+    objective is unimodal enough in practice; benches sweep Δ exhaustively
+    for the ablation).
+
+    Returns:
+        ``(delta, trees, predicted_rounds)`` for the best Δ found; the
+        ``trees`` list is the packing to run the protocol over.
+
+    Raises:
+        ValueError: if no Steiner tree connects the terminals at all.
+    """
+    lo = topology.diameter(among=sorted(set(terminals))) if len(set(terminals)) > 1 else 1
+    lo = max(1, lo)
+    hi = max(lo, topology.num_nodes)
+    candidates = sorted(
+        {lo, hi}
+        | {min(hi, lo * (2**i)) for i in range(0, 12)}
+    )
+    best: Optional[Tuple[int, List[SteinerTree], int]] = None
+    for delta in candidates:
+        trees = pack_steiner_trees(topology, terminals, max_diameter=delta)
+        if not trees:
+            continue
+        rounds = -(-total_words // len(trees)) + delta
+        if best is None or rounds < best[2]:
+            best = (delta, trees, rounds)
+    if best is None:
+        raise ValueError(
+            f"no Steiner tree connects terminals {sorted(set(terminals))}"
+        )
+    return best

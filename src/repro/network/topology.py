@@ -1,0 +1,218 @@
+"""Network topologies ``G = (V, E)`` — Model 2.1's communication graph.
+
+A :class:`Topology` is a simple undirected graph of *players* with
+per-edge, per-direction, per-round bit capacities.  Builders cover the
+topologies the paper discusses: the line ``G1`` and clique ``G2`` of
+Figure 1, stars, rings, grids, balanced trees (sensor networks,
+Appendix A.4), random regular graphs (MPC-style well-connected networks)
+and barbells (small-cut adversarial cases).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+class Topology:
+    """An undirected communication topology over named players.
+
+    Args:
+        edges: Iterable of ``(u, v)`` pairs.
+        name: Optional label used in reports.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[str, str]], name: str = "G") -> None:
+        self.graph = nx.Graph()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on {u!r} is not allowed")
+            self.graph.add_edge(u, v)
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError("topology must have at least one edge")
+        self.name = name
+        self._sp_cache: Dict[str, Dict[str, List[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(tuple(sorted(e)) for e in self.graph.edges)
+
+    def neighbors(self, node: str) -> List[str]:
+        return sorted(self.graph.neighbors(node))
+
+    def has_edge(self, u: str, v: str) -> bool:
+        return self.graph.has_edge(u, v)
+
+    def degree(self, node: str) -> int:
+        return self.graph.degree(node)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.graph)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.graph
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Topology {self.name} |V|={self.num_nodes} |E|={self.num_edges}>"
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """A shortest path (list of nodes, inclusive), cached per source."""
+        if src not in self._sp_cache:
+            self._sp_cache[src] = dict(nx.single_source_shortest_path(self.graph, src))
+        return self._sp_cache[src][dst]
+
+    def distance(self, src: str, dst: str) -> int:
+        return len(self.shortest_path(src, dst)) - 1
+
+    def eccentricity(self, node: str, among: Optional[Sequence[str]] = None) -> int:
+        targets = among if among is not None else self.nodes
+        return max(self.distance(node, t) for t in targets)
+
+    def diameter(self, among: Optional[Sequence[str]] = None) -> int:
+        """Diameter of G, or of the distances among a terminal subset."""
+        targets = list(among) if among is not None else self.nodes
+        return max(
+            self.distance(u, v) for u in targets for v in targets
+        )
+
+    def bfs_tree(self, root: str) -> Dict[str, Optional[str]]:
+        """Parent map of a BFS tree rooted at ``root`` (root maps to None)."""
+        parents: Dict[str, Optional[str]] = {root: None}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    if v not in parents:
+                        parents[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        return parents
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def player(i: int) -> str:
+        return f"P{i}"
+
+    @classmethod
+    def line(cls, n: int, name: str = "line") -> "Topology":
+        """The line ``G1`` of Figure 1: P0 - P1 - ... - P(n-1)."""
+        if n < 2:
+            raise ValueError("a line needs at least two nodes")
+        return cls(
+            ((cls.player(i), cls.player(i + 1)) for i in range(n - 1)),
+            name=f"{name}({n})",
+        )
+
+    @classmethod
+    def clique(cls, n: int, name: str = "clique") -> "Topology":
+        """The clique ``G2`` of Figure 1."""
+        if n < 2:
+            raise ValueError("a clique needs at least two nodes")
+        return cls(
+            (
+                (cls.player(i), cls.player(j))
+                for i in range(n)
+                for j in range(i + 1, n)
+            ),
+            name=f"{name}({n})",
+        )
+
+    @classmethod
+    def star(cls, n_leaves: int, name: str = "star") -> "Topology":
+        """A hub P0 with ``n_leaves`` leaves."""
+        if n_leaves < 1:
+            raise ValueError("a star needs at least one leaf")
+        return cls(
+            ((cls.player(0), cls.player(i + 1)) for i in range(n_leaves)),
+            name=f"{name}({n_leaves})",
+        )
+
+    @classmethod
+    def ring(cls, n: int, name: str = "ring") -> "Topology":
+        if n < 3:
+            raise ValueError("a ring needs at least three nodes")
+        return cls(
+            ((cls.player(i), cls.player((i + 1) % n)) for i in range(n)),
+            name=f"{name}({n})",
+        )
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, name: str = "grid") -> "Topology":
+        if rows < 1 or cols < 1 or rows * cols < 2:
+            raise ValueError("grid needs at least two nodes")
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    edges.append((f"P{r}_{c}", f"P{r}_{c + 1}"))
+                if r + 1 < rows:
+                    edges.append((f"P{r}_{c}", f"P{r + 1}_{c}"))
+        return cls(edges, name=f"{name}({rows}x{cols})")
+
+    @classmethod
+    def balanced_tree(cls, branching: int, depth: int, name: str = "tree") -> "Topology":
+        """A sensor-network-style balanced tree (Appendix A.4)."""
+        g = nx.balanced_tree(branching, depth)
+        return cls(
+            ((cls.player(u), cls.player(v)) for u, v in g.edges),
+            name=f"{name}(b{branching},d{depth})",
+        )
+
+    @classmethod
+    def random_regular(
+        cls, degree: int, n: int, seed: int = 0, name: str = "regular"
+    ) -> "Topology":
+        """A connected random d-regular graph (expander-like)."""
+        attempt = seed
+        for _ in range(64):
+            g = nx.random_regular_graph(degree, n, seed=attempt)
+            if nx.is_connected(g):
+                return cls(
+                    ((cls.player(u), cls.player(v)) for u, v in g.edges),
+                    name=f"{name}(d{degree},n{n})",
+                )
+            attempt += 1
+        raise RuntimeError("could not sample a connected regular graph")
+
+    @classmethod
+    def barbell(cls, clique_size: int, path_len: int, name: str = "barbell") -> "Topology":
+        """Two cliques joined by a path — a natural small-min-cut topology."""
+        if clique_size < 2:
+            raise ValueError("clique_size must be >= 2")
+        edges = []
+        left = [f"L{i}" for i in range(clique_size)]
+        right = [f"R{i}" for i in range(clique_size)]
+        for side in (left, right):
+            for i in range(clique_size):
+                for j in range(i + 1, clique_size):
+                    edges.append((side[i], side[j]))
+        path = [left[0]] + [f"M{i}" for i in range(path_len)] + [right[0]]
+        for a, b in zip(path, path[1:]):
+            edges.append((a, b))
+        return cls(edges, name=f"{name}({clique_size},{path_len})")
+
+    @classmethod
+    def two_party(cls, name: str = "edge") -> "Topology":
+        """The two-party topology of Model 2.2: a single edge (a, b)."""
+        return cls([("a", "b")], name=name)

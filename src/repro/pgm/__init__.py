@@ -1,0 +1,20 @@
+"""PGMs as FAQ-SS instances (factor marginals, MAP, partition function)."""
+
+from .inference import (
+    brute_force_marginal,
+    map_value,
+    marginal,
+    partition_function,
+)
+from .model import GraphicalModel, chain_model, grid_model, tree_model
+
+__all__ = [
+    "GraphicalModel",
+    "chain_model",
+    "tree_model",
+    "grid_model",
+    "marginal",
+    "partition_function",
+    "map_value",
+    "brute_force_marginal",
+]

@@ -1,0 +1,70 @@
+"""PGM inference routines on top of the FAQ engine."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Sequence, Tuple
+
+from ..faq import scalar_value, solve_message_passing, solve_variable_elimination
+from ..semiring import Factor
+from .model import GraphicalModel
+
+
+def marginal(
+    model: GraphicalModel, free_vars: Sequence[str], normalize: bool = False
+) -> Factor:
+    """The (optionally normalized) marginal ``phi(free_vars)``.
+
+    Uses the GHD message-passing solver when the model is acyclic and
+    falls back to variable elimination otherwise.
+    """
+    query = model.marginal_query(free_vars)
+    try:
+        result = solve_message_passing(query)
+    except ValueError:
+        result = solve_variable_elimination(query)
+    if not normalize:
+        return result
+    total = math.fsum(v for _t, v in result)
+    if total <= 0:
+        raise ValueError("model has zero total mass; cannot normalize")
+    return Factor(
+        result.schema,
+        {t: v / total for t, v in result},
+        result.semiring,
+        result.name,
+    )
+
+
+def partition_function(model: GraphicalModel) -> float:
+    """The normalizing constant ``Z`` (marginal with no free variables)."""
+    return float(scalar_value(solve_variable_elimination(model.marginal_query(()))))
+
+
+def map_value(model: GraphicalModel) -> float:
+    """The max-product optimum (unnormalized MAP score)."""
+    return float(scalar_value(solve_variable_elimination(model.map_query(()))))
+
+
+def brute_force_marginal(
+    model: GraphicalModel, free_vars: Sequence[str]
+) -> Dict[Tuple, float]:
+    """Exponential-time ground truth for tests: enumerate all assignments."""
+    free_vars = tuple(free_vars)
+    variables = sorted(model.variables, key=str)
+    out: Dict[Tuple, float] = {}
+    for assignment in itertools.product(
+        *(model.domains[v] for v in variables)
+    ):
+        env = dict(zip(variables, assignment))
+        weight = 1.0
+        for factor in model.factors.values():
+            weight *= factor(tuple(env[v] for v in factor.schema))
+            if weight == 0.0:
+                break
+        if weight == 0.0:
+            continue
+        key = tuple(env[v] for v in free_vars)
+        out[key] = out.get(key, 0.0) + weight
+    return out

@@ -1,0 +1,177 @@
+"""Probabilistic Graphical Models as FAQ-SS instances (paper Section 1).
+
+A PGM here is a factor graph: variables with finite domains and
+non-negative factors.  Computing a *factor marginal* — ``F = e`` for some
+hyperedge ``e`` over the semiring ``(R>=0, +, x)`` — is exactly the
+paper's second headline FAQ-SS special case; MAP-style queries use the
+max-product semiring instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..faq import FAQQuery, marginal_query
+from ..hypergraph import Hypergraph
+from ..semiring import MAX_TIMES, REAL, Factor
+
+
+@dataclass
+class GraphicalModel:
+    """A factor-graph PGM.
+
+    Attributes:
+        factors: Named non-negative factors (REAL semiring).
+        domains: Domain per variable.
+    """
+
+    factors: Dict[str, Factor]
+    domains: Dict[str, Tuple[Any, ...]]
+
+    def __post_init__(self) -> None:
+        for name, factor in self.factors.items():
+            if factor.semiring.name not in (REAL.name, MAX_TIMES.name):
+                raise ValueError(
+                    f"factor {name!r} must be REAL/MAX_TIMES-annotated"
+                )
+            for var in factor.schema:
+                if var not in self.domains:
+                    raise ValueError(f"variable {var!r} has no domain")
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        """The underlying query hypergraph."""
+        return Hypergraph(
+            {name: factor.schema for name, factor in self.factors.items()}
+        )
+
+    @property
+    def variables(self) -> set:
+        out: set = set()
+        for factor in self.factors.values():
+            out |= set(factor.schema)
+        return out
+
+    def marginal_query(self, free_vars: Sequence[str]) -> FAQQuery:
+        """The FAQ-SS sum-product query for ``phi(free_vars)``."""
+        return marginal_query(
+            self.hypergraph,
+            self.factors,
+            self.domains,
+            free_vars=tuple(free_vars),
+            semiring=REAL,
+            name=f"marginal({','.join(map(str, free_vars))})",
+        )
+
+    def map_query(self, free_vars: Sequence[str] = ()) -> FAQQuery:
+        """The max-product (Viterbi) query over the same factors."""
+        lifted = {
+            name: Factor(f.schema, dict(f.rows), MAX_TIMES, name)
+            for name, f in self.factors.items()
+        }
+        return FAQQuery(
+            hypergraph=self.hypergraph,
+            factors=lifted,
+            domains=self.domains,
+            free_vars=tuple(free_vars),
+            semiring=MAX_TIMES,
+            name="map",
+        )
+
+
+def chain_model(
+    length: int,
+    domain_size: int,
+    seed: Optional[int] = None,
+) -> GraphicalModel:
+    """A random chain-structured PGM (an HMM-like Markov chain).
+
+    Variables ``X0 .. X<length>`` with pairwise potentials
+    ``f_i(X_i, X_{i+1})``.
+    """
+    import random
+
+    rng = random.Random(0 if seed is None else seed)
+    domain = tuple(range(domain_size))
+    factors = {}
+    for i in range(length):
+        rows = {
+            (a, b): rng.uniform(0.05, 1.0)
+            for a in domain
+            for b in domain
+        }
+        factors[f"f{i}"] = Factor(
+            (f"X{i}", f"X{i + 1}"), rows, REAL, f"f{i}"
+        )
+    domains = {f"X{i}": domain for i in range(length + 1)}
+    return GraphicalModel(factors, domains)
+
+
+def tree_model(
+    branching: int,
+    depth: int,
+    domain_size: int,
+    seed: Optional[int] = None,
+) -> GraphicalModel:
+    """A random tree-structured PGM (sensor-network shaped, App. A.4)."""
+    import random
+
+    rng = random.Random(0 if seed is None else seed)
+    domain = tuple(range(domain_size))
+    factors: Dict[str, Factor] = {}
+    domains: Dict[str, Tuple[Any, ...]] = {"X0": domain}
+    nodes = ["X0"]
+    counter = 1
+    for _level in range(depth):
+        nxt = []
+        for parent in nodes:
+            for _ in range(branching):
+                child = f"X{counter}"
+                counter += 1
+                rows = {
+                    (a, b): rng.uniform(0.05, 1.0)
+                    for a in domain
+                    for b in domain
+                }
+                factors[f"f{parent}_{child}"] = Factor(
+                    (parent, child), rows, REAL, f"f{parent}_{child}"
+                )
+                domains[child] = domain
+                nxt.append(child)
+        nodes = nxt
+    return GraphicalModel(factors, domains)
+
+
+def grid_model(
+    rows: int,
+    cols: int,
+    domain_size: int,
+    seed: Optional[int] = None,
+) -> GraphicalModel:
+    """A random grid MRF — a *cyclic* query exercising the core path."""
+    import random
+
+    rng = random.Random(0 if seed is None else seed)
+    domain = tuple(range(domain_size))
+    factors: Dict[str, Factor] = {}
+    domains: Dict[str, Tuple[Any, ...]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            domains[f"X{r}_{c}"] = domain
+    idx = 0
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0)):
+                rr, cc = r + dr, c + dc
+                if rr < rows and cc < cols:
+                    table = {
+                        (a, b): rng.uniform(0.05, 1.0)
+                        for a in domain
+                        for b in domain
+                    }
+                    factors[f"g{idx}"] = Factor(
+                        (f"X{r}_{c}", f"X{rr}_{cc}"), table, REAL, f"g{idx}"
+                    )
+                    idx += 1
+    return GraphicalModel(factors, domains)

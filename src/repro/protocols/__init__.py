@@ -1,0 +1,77 @@
+"""Distributed protocols: the paper's upper bounds, executable."""
+
+from .faq_protocol import (
+    FAQProtocolReport,
+    ProtocolPlan,
+    StarPhase,
+    compile_plan,
+    default_value_bits,
+    run_distributed_faq,
+)
+from .mcm import (
+    MCMReport,
+    mcm_line,
+    predicted_rounds,
+    run_mcm_merge,
+    run_mcm_sequential,
+    run_mcm_trivial,
+)
+from .primitives import (
+    EOS_BITS,
+    HEADER_BITS,
+    Mailbox,
+    broadcast_node,
+    chunk_packets,
+    convergecast_node,
+    parallel_subphases,
+    route_to_sink_node,
+    strip_continuations,
+)
+from .set_intersection import (
+    reassemble_slices,
+    scatter_over_packing,
+    SlotPlan,
+    combine_over_packing,
+    plan_slots,
+    run_set_intersection,
+)
+from .trivial import (
+    factor_to_packets,
+    packets_to_factors,
+    route_all_to_sink,
+    run_trivial_protocol,
+)
+
+__all__ = [
+    "Mailbox",
+    "broadcast_node",
+    "convergecast_node",
+    "route_to_sink_node",
+    "parallel_subphases",
+    "chunk_packets",
+    "strip_continuations",
+    "HEADER_BITS",
+    "EOS_BITS",
+    "SlotPlan",
+    "plan_slots",
+    "combine_over_packing",
+    "run_set_intersection",
+    "scatter_over_packing",
+    "reassemble_slices",
+    "run_trivial_protocol",
+    "route_all_to_sink",
+    "factor_to_packets",
+    "packets_to_factors",
+    "StarPhase",
+    "ProtocolPlan",
+    "FAQProtocolReport",
+    "compile_plan",
+    "default_value_bits",
+    "run_distributed_faq",
+    "MCMReport",
+    "mcm_line",
+    "run_mcm_sequential",
+    "run_mcm_merge",
+    "run_mcm_trivial",
+    "predicted_rounds",
+]

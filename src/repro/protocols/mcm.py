@@ -1,0 +1,392 @@
+"""Matrix Chain Multiplication protocols on a line — Section 6.
+
+The setting (Problem 1.1): ``G`` is a line ``P0 - P1 - ... - P(k+1)``;
+``P0`` holds ``x in F_2^N``, ``P_i`` holds ``A_i in F_2^{N x N}``, and
+``P(k+1)`` must learn ``A_k ... A_1 x``.  Per the two-party convention the
+paper uses for this problem (footnote 12) each edge carries 1 bit per
+round; a word-size parameter generalizes this.
+
+Three protocols:
+
+* :func:`run_mcm_sequential` — Proposition 6.1: ``P_i`` computes the
+  partial product ``y_i = A_i y_{i-1}`` and streams it on; Θ(kN) rounds,
+  optimal for ``k <= N`` (Theorem 6.4).
+* :func:`run_mcm_merge` — Appendix I.1: pairwise matrix merging in
+  ``log k`` iterations; ``O(N^2 log k + k)`` rounds, the winner when
+  ``k >> N``.
+* :func:`run_mcm_trivial` — ship every matrix to the sink; Θ(kN²) rounds
+  (footnote 18), the baseline both beat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..linalg import f2
+from ..network.simulator import SimulationResult, Simulator
+from ..network.topology import Topology
+from .primitives import Mailbox, broadcast_node
+
+
+@dataclass
+class MCMReport:
+    """Measured outcome of one MCM protocol run.
+
+    Attributes:
+        result: The product vector at the sink.
+        rounds: Communication rounds used.
+        total_bits: Total bits carried.
+        simulation: Raw simulator result.
+    """
+
+    result: np.ndarray
+    rounds: int
+    total_bits: int
+    simulation: SimulationResult
+
+
+def mcm_line(k: int) -> Topology:
+    """The MCM topology: a line with players P0..P(k+1)."""
+    return Topology.line(k + 2, name="mcm-line")
+
+
+def _check_inputs(matrices: Sequence[np.ndarray], vector: np.ndarray) -> int:
+    n = vector.shape[0]
+    for i, a in enumerate(matrices):
+        if a.shape != (n, n):
+            raise ValueError(
+                f"A_{i + 1} has shape {a.shape}; expected ({n}, {n})"
+            )
+    return n
+
+
+def _stream_vector(ctx, mail, dst, bits: List[int], word_bits: int, tag: str):
+    """Send a bit list to a neighbor, ``word_bits`` bits per round."""
+    idx = 0
+    total = len(bits)
+    while idx < total:
+        mail.ingest(ctx)
+        while idx < total and ctx.remaining_capacity(dst) >= 1:
+            take = min(word_bits, total - idx, ctx.remaining_capacity(dst))
+            ctx.send(dst, take, ("w", bits[idx: idx + take]), tag)
+            idx += take
+        if idx < total:
+            yield
+    return None
+
+
+def _recv_vector(ctx, mail, src, total: int, tag: str):
+    """Receive ``total`` bits from a neighbor."""
+    bits: List[int] = []
+    while len(bits) < total:
+        mail.ingest(ctx)
+        for payload in mail.pop(tag, src):
+            bits.extend(payload[1])
+        if len(bits) < total:
+            yield
+    return bits[:total]
+
+
+def run_mcm_sequential(
+    matrices: Sequence[np.ndarray],
+    vector: np.ndarray,
+    word_bits: int = 1,
+    max_rounds: int = 5_000_000,
+) -> MCMReport:
+    """Proposition 6.1: stream partial products down the line.
+
+    ``P_i`` receives ``y_{i-1}`` (N bits), multiplies by ``A_i`` (free
+    computation) and streams ``y_i`` to ``P_{i+1}``; total
+    ``Θ(k N / word_bits)`` rounds.
+    """
+    n = _check_inputs(matrices, vector)
+    k = len(matrices)
+    topo = mcm_line(k)
+
+    def make_proc(i: int):
+        node = Topology.player(i)
+
+        def proc(ctx):
+            mail = Mailbox()
+            if i == 0:
+                yield from _stream_vector(
+                    ctx, mail, Topology.player(1),
+                    f2.vector_to_bits(vector), word_bits, "y0",
+                )
+                return None
+            bits = yield from _recv_vector(
+                ctx, mail, Topology.player(i - 1), n, f"y{i - 1}"
+            )
+            if i == k + 1:
+                return f2.bits_to_vector(bits)
+            y = f2.matvec(matrices[i - 1], f2.bits_to_vector(bits))
+            yield from _stream_vector(
+                ctx, mail, Topology.player(i + 1),
+                f2.vector_to_bits(y), word_bits, f"y{i}",
+            )
+            return None
+
+        del node
+        return proc
+
+    processes = {Topology.player(i): make_proc(i) for i in range(k + 2)}
+    sim = Simulator(topo, capacity_bits=word_bits, max_rounds=max_rounds)
+    res = sim.run(processes)
+    out = res.output_of(Topology.player(k + 1))
+    return MCMReport(out, res.rounds, res.total_bits, res)
+
+
+def run_mcm_trivial(
+    matrices: Sequence[np.ndarray],
+    vector: np.ndarray,
+    word_bits: int = 1,
+    max_rounds: int = 50_000_000,
+) -> MCMReport:
+    """Footnote 18's baseline: ship all inputs to the sink; Θ(kN²) rounds.
+
+    Each ``P_i`` forwards everything it receives plus its own matrix
+    (N² bits) toward ``P_{k+1}``, which multiplies locally.
+    """
+    n = _check_inputs(matrices, vector)
+    k = len(matrices)
+    topo = mcm_line(k)
+
+    def make_proc(i: int):
+        def proc(ctx):
+            mail = Mailbox()
+            # Payloads travel in order: x then A_1 ... A_k, relayed hop by
+            # hop; P_i injects its own matrix after forwarding upstream data.
+            upstream_bits = n + (i - 1) * n * n if i >= 1 else 0
+            own_bits: List[int] = []
+            if i == 0:
+                own_bits = f2.vector_to_bits(vector)
+            elif 1 <= i <= k:
+                own_bits = [
+                    int(b) for b in np.asarray(matrices[i - 1]).reshape(-1)
+                ]
+            if i == 0:
+                yield from _stream_vector(
+                    ctx, mail, Topology.player(1), own_bits, word_bits, "tr"
+                )
+                return None
+            received = yield from _recv_and_forward(
+                ctx, mail, Topology.player(i - 1),
+                None if i == k + 1 else Topology.player(i + 1),
+                upstream_bits, own_bits, word_bits, "tr",
+            )
+            if i == k + 1:
+                x = f2.bits_to_vector(received[:n])
+                mats = [
+                    f2.bits_to_vector(
+                        received[n + j * n * n: n + (j + 1) * n * n]
+                    ).reshape(n, n)
+                    for j in range(k)
+                ]
+                return f2.chain_product(mats, x)
+            return None
+
+        return proc
+
+    processes = {Topology.player(i): make_proc(i) for i in range(k + 2)}
+    sim = Simulator(topo, capacity_bits=word_bits, max_rounds=max_rounds)
+    res = sim.run(processes)
+    out = res.output_of(Topology.player(k + 1))
+    return MCMReport(out, res.rounds, res.total_bits, res)
+
+
+def _recv_and_forward(
+    ctx, mail, src, dst, upstream_bits: int, own_bits: List[int],
+    word_bits: int, tag: str,
+):
+    """Pipelined relay: forward ``upstream_bits`` from ``src`` to ``dst``,
+    then append ``own_bits``.  Returns everything seen when ``dst`` is
+    None (the sink)."""
+    received: List[int] = []
+    forwarded = 0
+    appended = 0
+    total_out = upstream_bits + len(own_bits)
+    while True:
+        mail.ingest(ctx)
+        for payload in mail.pop(tag, src):
+            received.extend(payload[1])
+        if dst is None:
+            if len(received) >= upstream_bits:
+                return received + own_bits
+        else:
+            while forwarded < min(len(received), upstream_bits):
+                room = ctx.remaining_capacity(dst)
+                if room < 1:
+                    break
+                take = min(word_bits, upstream_bits - forwarded,
+                           len(received) - forwarded, room)
+                ctx.send(dst, take,
+                         ("w", received[forwarded: forwarded + take]), tag)
+                forwarded += take
+            if forwarded == upstream_bits:
+                while appended < len(own_bits):
+                    room = ctx.remaining_capacity(dst)
+                    if room < 1:
+                        break
+                    take = min(word_bits, len(own_bits) - appended, room)
+                    ctx.send(dst, take,
+                             ("w", own_bits[appended: appended + take]), tag)
+                    appended += take
+                if appended == len(own_bits):
+                    return received
+        yield
+    del total_out
+
+
+def run_mcm_merge(
+    matrices: Sequence[np.ndarray],
+    vector: np.ndarray,
+    word_bits: int = 1,
+    max_rounds: int = 50_000_000,
+) -> MCMReport:
+    """Appendix I.1: bottom-to-top pairwise merge; O(N² log k + k) rounds.
+
+    Iteration ``t``: every ``P_i`` with ``i mod 2^t == 2^{t-1}`` streams its
+    current partial product matrix ``B`` over distance ``2^{t-1}`` (relayed,
+    pipelined) to ``P_{i + 2^{t-1}}``, which multiplies it into its own.
+    After ``ceil(log2 k)`` iterations ``P_k`` holds ``A_k ... A_1``; then
+    ``P0`` streams ``x`` down the line (relayed) and ``P_{k+1}`` finishes.
+    For ``k >> N`` this beats Proposition 6.1's Θ(kN).
+    """
+    n = _check_inputs(matrices, vector)
+    k = len(matrices)
+    if k == 0:
+        raise ValueError("merge protocol needs at least one matrix")
+    topo = mcm_line(k)
+    iterations = max(1, math.ceil(math.log2(k))) if k > 1 else 0
+
+    # Precompute the (static) merge schedule so every player knows its role.
+    # schedule[t] = list of (src_index, dst_index) for iteration t+1.
+    schedule: List[List[tuple]] = []
+    holders = set(range(1, k + 1))  # players currently holding a matrix
+    for t in range(1, iterations + 1):
+        step = 2**t
+        half = 2 ** (t - 1)
+        pairs = []
+        for i in range(1, k + 1):
+            if i % step == half and i + half <= k and i in holders and (i + half) in holders:
+                pairs.append((i, i + half))
+        for src, _dst in pairs:
+            holders.discard(src)
+        schedule.append(pairs)
+    # Cleanup pass for non-power-of-two k: chain the surviving partial
+    # products left to right so P_k ends with the full product.
+    survivors = sorted(holders)
+    for left, right in zip(survivors, survivors[1:]):
+        schedule.append([(left, right)])
+    final_holder = max(survivors)  # == k: the rightmost holder survives
+
+    def make_proc(i: int):
+        def proc(ctx):
+            mail = Mailbox()
+            mine: Optional[np.ndarray] = (
+                np.array(matrices[i - 1], dtype=np.uint8) if 1 <= i <= k else None
+            )
+            for t, pairs in enumerate(schedule, start=1):
+                for src, dst in pairs:
+                    if not (min(src, dst) <= i <= max(src, dst)):
+                        continue
+                    tag = f"m{t}:{src}->{dst}"
+                    if i == src:
+                        bits = [int(b) for b in mine.reshape(-1)]
+                        yield from _stream_vector(
+                            ctx, mail, Topology.player(i + 1), bits,
+                            word_bits, tag,
+                        )
+                        mine = None
+                    elif i == dst:
+                        bits = yield from _recv_vector(
+                            ctx, mail, Topology.player(i - 1), n * n, tag
+                        )
+                        other = f2.bits_to_vector(bits).reshape(n, n)
+                        # other = A_{src..} is the *lower* half of the chain:
+                        # B_dst = B_dst @ B_src (apply src's half first).
+                        mine = f2.matmul(mine, other)
+                    else:
+                        # Pure relay between src and dst.
+                        yield from _relay(
+                            ctx, mail, Topology.player(i - 1),
+                            Topology.player(i + 1), n * n, word_bits, tag,
+                        )
+            # Now P_final_holder (= P_k) has the full product; P0 streams x
+            # along the line to it; it computes y and streams to the sink.
+            if i == 0:
+                yield from _stream_vector(
+                    ctx, mail, Topology.player(1),
+                    f2.vector_to_bits(vector), word_bits, "x",
+                )
+                return None
+            if i < final_holder:
+                yield from _relay(
+                    ctx, mail, Topology.player(i - 1), Topology.player(i + 1),
+                    n, word_bits, "x",
+                )
+                return None
+            if i == final_holder:
+                bits = yield from _recv_vector(
+                    ctx, mail, Topology.player(i - 1), n, "x"
+                )
+                y = f2.matvec(mine, f2.bits_to_vector(bits))
+                yield from _stream_vector(
+                    ctx, mail, Topology.player(i + 1),
+                    f2.vector_to_bits(y), word_bits, "y",
+                )
+                return None
+            if i == k + 1:
+                bits = yield from _recv_vector(
+                    ctx, mail, Topology.player(k), n, "y"
+                )
+                return f2.bits_to_vector(bits)
+            return None
+
+        return proc
+
+    processes = {Topology.player(i): make_proc(i) for i in range(k + 2)}
+    sim = Simulator(topo, capacity_bits=word_bits, max_rounds=max_rounds)
+    res = sim.run(processes)
+    out = res.output_of(Topology.player(k + 1))
+    return MCMReport(out, res.rounds, res.total_bits, res)
+
+
+def _relay(ctx, mail, src, dst, total_bits: int, word_bits: int, tag: str):
+    """Store-and-forward ``total_bits`` from ``src`` to ``dst`` (pipelined)."""
+    buffered: List[int] = []
+    forwarded = 0
+    while forwarded < total_bits:
+        mail.ingest(ctx)
+        for payload in mail.pop(tag, src):
+            buffered.extend(payload[1])
+        while forwarded < len(buffered):
+            room = ctx.remaining_capacity(dst)
+            if room < 1:
+                break
+            take = min(word_bits, len(buffered) - forwarded, room)
+            ctx.send(dst, take, ("w", buffered[forwarded: forwarded + take]), tag)
+            forwarded += take
+        if forwarded < total_bits:
+            yield
+    return None
+
+
+def predicted_rounds(k: int, n: int, protocol: str, word_bits: int = 1) -> float:
+    """Closed-form round predictions for the three protocols.
+
+    ``sequential``: kN + N (Proposition 6.1); ``trivial``: kN² + N
+    (footnote 18); ``merge``: N² ceil(log2 k) + 2N + k (Appendix I.1).
+    All divided by ``word_bits``.
+    """
+    if protocol == "sequential":
+        return (k * n + n) / word_bits
+    if protocol == "trivial":
+        return (k * n * n + n) / word_bits
+    if protocol == "merge":
+        return (n * n * max(1, math.ceil(math.log2(max(2, k)))) + 2 * n) / word_bits + k
+    raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,290 @@
+"""Multiparty set intersection over Steiner tree packings — Theorem 3.11.
+
+Every player ``u in K`` holds an N-bit vector ``x_u``; a designated player
+must learn the bitwise AND (equivalently, the intersection of the sets the
+vectors indicate).  The protocol packs edge-disjoint Steiner trees of
+terminal diameter <= Δ, splits the N slots across the trees and runs a
+pipelined convergecast on each tree in parallel, achieving
+
+    O( min_Δ ( N / ST(G, K, Δ) + Δ ) )
+
+rounds at one bit per slot (Theorem 3.11, from Chattopadhyay et al.).
+The same machinery, instantiated with a semiring product instead of AND,
+is the ⊗-combining step of the FAQ protocol (footnote 24).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..network.simulator import SimulationResult, Simulator
+from ..network.steiner import SteinerTree, optimize_delta, pack_steiner_trees
+from ..network.topology import Topology
+from .primitives import (
+    Mailbox,
+    broadcast_node,
+    convergecast_node,
+    parallel_subphases,
+)
+
+
+@dataclass
+class SlotPlan:
+    """A Steiner tree packing used as parallel aggregation channels.
+
+    Attributes:
+        trees: The edge-disjoint Steiner trees, all rooted at the output
+            player and sharing one terminal set.
+        delta: The diameter bound the packing satisfies.
+    """
+
+    trees: List[SteinerTree]
+    delta: int
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def root(self) -> str:
+        return self.trees[0].root
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        return self.trees[0].terminals
+
+    def slice_ranges(self, num_slots: int) -> List[Tuple[int, int]]:
+        """Split ``num_slots`` into contiguous per-tree ranges."""
+        s = len(self.trees)
+        per = math.ceil(num_slots / s) if num_slots else 0
+        return [
+            (min(num_slots, j * per), min(num_slots, (j + 1) * per))
+            for j in range(s)
+        ]
+
+    def trees_of(self, node: str) -> List[int]:
+        """Indices of the packing trees containing ``node``."""
+        return [j for j, t in enumerate(self.trees) if node in t.nodes]
+
+
+def plan_slots(
+    topology: Topology,
+    players: Sequence[str],
+    output_player: str,
+    num_slots: int,
+    max_diameter: Optional[int] = None,
+) -> SlotPlan:
+    """Pack Steiner trees rooted at ``output_player`` and slice the slots.
+
+    With ``max_diameter=None`` the Δ of Theorem 3.11 is optimized by
+    :func:`repro.network.steiner.optimize_delta`; otherwise the packing is
+    computed at the requested Δ (used by the Δ-ablation bench).
+
+    Raises:
+        ValueError: if no Steiner tree connects the players at the
+            requested diameter.
+    """
+    terminals = sorted(set(players) | {output_player})
+    if max_diameter is None:
+        delta, trees, _ = optimize_delta(topology, terminals, max(1, num_slots))
+    else:
+        trees = pack_steiner_trees(topology, terminals, max_diameter)
+        delta = max_diameter
+        if not trees:
+            raise ValueError(
+                f"no Steiner tree of diameter <= {max_diameter} connects "
+                f"{terminals}"
+            )
+    trees = [
+        SteinerTree(t.edges, output_player, tuple(terminals)) for t in trees
+    ]
+    return SlotPlan(trees=trees, delta=delta)
+
+
+def scatter_over_packing(
+    ctx,
+    mail: Mailbox,
+    plan: SlotPlan,
+    items: Optional[Sequence[Any]],
+    bits_per_item: int,
+    tag: str,
+):
+    """Scatter ``items`` from the packing root to every tree node.
+
+    The root splits the item list into the plan's per-tree slices and
+    broadcasts slice ``j`` down tree ``j`` (the trees are edge-disjoint, so
+    the broadcasts run fully in parallel — this is what buys the
+    Example 2.3 clique speedup, N/ST(G,K,Δ) + Δ instead of N).
+
+    Returns:
+        ``{tree_index: slice_items}`` for the trees this node belongs to.
+        Terminals belong to every tree and can reassemble the full list
+        with :func:`reassemble_slices`.
+    """
+    is_root = plan.trees and ctx.node == plan.root
+    ranges = plan.slice_ranges(len(items)) if is_root else None
+    subgens = []
+    tree_indices = []
+    for j, tree in enumerate(plan.trees):
+        if ctx.node not in tree.nodes:
+            continue
+        parents = tree.parent_map()
+        parent = parents.get(ctx.node)
+        children = sorted(n for n, p in parents.items() if p == ctx.node)
+        slice_items = None
+        if is_root:
+            start, stop = ranges[j]
+            slice_items = list(items[start:stop])
+        subgens.append(
+            broadcast_node(
+                ctx, mail, parent, children, slice_items, bits_per_item,
+                f"{tag}:t{j}",
+            )
+        )
+        tree_indices.append(j)
+    results = yield from parallel_subphases(subgens)
+    return dict(zip(tree_indices, results))
+
+
+def reassemble_slices(slices_by_tree: Dict[int, List[Any]], plan: SlotPlan) -> List[Any]:
+    """Concatenate per-tree slices back into the original item order."""
+    out: List[Any] = []
+    for j in range(plan.num_trees):
+        out.extend(slices_by_tree.get(j, ()))
+    return out
+
+
+def combine_over_packing(
+    ctx,
+    mail: Mailbox,
+    plan: SlotPlan,
+    slots_by_tree: Dict[int, Optional[Sequence[Any]]],
+    counts_by_tree: Dict[int, int],
+    combine: Callable[[Any, Any], Any],
+    identity: Any,
+    bits_per_slot: int,
+    tag: str,
+):
+    """One node's role in the packed convergecast (generator).
+
+    The node runs one convergecast per tree it belongs to, in parallel
+    (the trees are edge-disjoint, so streams never contend).
+
+    Args:
+        slots_by_tree: This node's contribution per tree (None = identity).
+        counts_by_tree: Slot count per tree this node participates in
+            (learned from the scatter headers, so empty relations and
+            uneven splits need no global agreement).
+
+    Returns:
+        The full combined slot list at the packing root; None elsewhere.
+    """
+    subgens = []
+    tree_indices = []
+    for j, tree in enumerate(plan.trees):
+        if ctx.node not in tree.nodes:
+            continue
+        parents = tree.parent_map()
+        parent = parents.get(ctx.node)
+        children = sorted(n for n, p in parents.items() if p == ctx.node)
+        slots = slots_by_tree.get(j)
+        subgens.append(
+            convergecast_node(
+                ctx,
+                mail,
+                parent,
+                children,
+                counts_by_tree[j],
+                None if slots is None else list(slots),
+                combine,
+                identity,
+                bits_per_slot,
+                f"{tag}:t{j}",
+            )
+        )
+        tree_indices.append(j)
+    results = yield from parallel_subphases(subgens)
+    if plan.trees and ctx.node == plan.root:
+        combined: List[Any] = []
+        by_tree = dict(zip(tree_indices, results))
+        for j in range(plan.num_trees):
+            combined.extend(by_tree.get(j) or ())
+        return combined
+    return None
+
+
+def run_set_intersection(
+    topology: Topology,
+    vectors: Dict[str, Sequence[bool]],
+    output_player: str,
+    max_diameter: Optional[int] = None,
+    bits_per_slot: int = 1,
+    max_rounds: int = 1_000_000,
+) -> Tuple[List[bool], SimulationResult]:
+    """Run the full Theorem 3.11 protocol on the simulator.
+
+    Args:
+        vectors: ``player -> N-bit vector``; all vectors must share one
+            length N.  Players of G absent from the dict participate as
+            Steiner relay nodes when needed.
+        output_player: Learns the AND of all vectors.
+        max_diameter: Fix Δ (None = optimize).
+        bits_per_slot: Bits charged per transmitted slot (1 for Boolean).
+
+    Returns:
+        ``(intersection_vector, simulation_result)``.
+
+    Raises:
+        ValueError: on inconsistent vector lengths.
+    """
+    lengths = {len(v) for v in vectors.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"vectors have inconsistent lengths: {lengths}")
+    num_slots = lengths.pop() if lengths else 0
+    plan = plan_slots(
+        topology, list(vectors), output_player, num_slots, max_diameter
+    )
+    participants = set()
+    for tree in plan.trees:
+        participants |= tree.nodes
+    participants |= set(vectors) | {output_player}
+
+    ranges = plan.slice_ranges(num_slots)
+
+    def make_proc(node: str):
+        my = vectors.get(node)
+
+        def proc(ctx):
+            mail = Mailbox()
+            slots_by_tree = {}
+            counts_by_tree = {}
+            for j in plan.trees_of(node):
+                start, stop = ranges[j]
+                counts_by_tree[j] = stop - start
+                slots_by_tree[j] = (
+                    None if my is None else list(my[start:stop])
+                )
+            result = yield from combine_over_packing(
+                ctx,
+                mail,
+                plan,
+                slots_by_tree,
+                counts_by_tree,
+                lambda a, b: a and b,
+                True,
+                bits_per_slot,
+                "si",
+            )
+            return result
+
+        return proc
+
+    processes = {node: make_proc(node) for node in participants}
+    sim = Simulator(topology, capacity_bits=max(1, bits_per_slot), max_rounds=max_rounds)
+    result = sim.run(processes)
+    answer = result.output_of(output_player)
+    if answer is None:
+        answer = []
+    return list(answer), result

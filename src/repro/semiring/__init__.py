@@ -1,0 +1,31 @@
+"""Semirings and semiring-annotated relations (factors)."""
+
+from .factor import Factor
+from .semirings import (
+    BOOLEAN,
+    BUILTIN_SEMIRINGS,
+    COUNTING,
+    GF2,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    REAL,
+    Semiring,
+    check_semiring_axioms,
+    get_semiring,
+)
+
+__all__ = [
+    "Factor",
+    "Semiring",
+    "BOOLEAN",
+    "COUNTING",
+    "REAL",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_TIMES",
+    "GF2",
+    "BUILTIN_SEMIRINGS",
+    "get_semiring",
+    "check_semiring_axioms",
+]

@@ -1,0 +1,27 @@
+"""Workload generators for tests and benchmarks."""
+
+from .generators import (
+    domains_for,
+    make_rng,
+    matching_relation,
+    random_acyclic_hypergraph,
+    random_d_degenerate_query,
+    random_forest_query,
+    random_instance,
+    random_relation,
+    random_tree_query,
+    random_weighted_relation,
+)
+
+__all__ = [
+    "make_rng",
+    "random_tree_query",
+    "random_forest_query",
+    "random_d_degenerate_query",
+    "random_acyclic_hypergraph",
+    "random_relation",
+    "random_weighted_relation",
+    "matching_relation",
+    "domains_for",
+    "random_instance",
+]

@@ -1,0 +1,207 @@
+"""Workload generators for tests and benchmarks.
+
+Produces the query shapes the paper evaluates (stars, paths, trees,
+d-degenerate graphs, bounded-arity hypergraphs) and random input relations
+in listing representation, including the skew-free "matching" databases of
+the MPC comparison (Appendix A.1.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+from ..semiring import BOOLEAN, Factor, Semiring
+
+
+def make_rng(seed: Optional[int]) -> random.Random:
+    """A deterministic RNG (seed 0 when None) so benches are reproducible."""
+    return random.Random(0 if seed is None else seed)
+
+
+# ---------------------------------------------------------------------------
+# Query-shape generators
+# ---------------------------------------------------------------------------
+
+
+def random_tree_query(num_edges: int, seed: Optional[int] = None) -> Hypergraph:
+    """A random tree-shaped simple-graph query with ``num_edges`` edges."""
+    rng = make_rng(seed)
+    if num_edges < 1:
+        raise ValueError("need at least one edge")
+    edges = {}
+    for i in range(num_edges):
+        parent = rng.randrange(i + 1)
+        edges[f"R{i}"] = (f"v{parent}", f"v{i + 1}")
+    return Hypergraph(edges)
+
+
+def random_forest_query(
+    num_trees: int, edges_per_tree: int, seed: Optional[int] = None
+) -> Hypergraph:
+    """A disjoint union of random trees."""
+    rng = make_rng(seed)
+    edges = {}
+    for t in range(num_trees):
+        for i in range(edges_per_tree):
+            parent = rng.randrange(i + 1)
+            edges[f"T{t}R{i}"] = (f"t{t}v{parent}", f"t{t}v{i + 1}")
+    return Hypergraph(edges)
+
+
+def random_d_degenerate_query(
+    num_vertices: int, d: int, seed: Optional[int] = None
+) -> Hypergraph:
+    """A d-degenerate simple graph built by the standard insertion process.
+
+    Vertex ``i`` connects to ``min(i, d)`` uniformly random earlier
+    vertices, which guarantees degeneracy at most ``d`` and typically
+    exactly ``d`` for ``num_vertices >> d``.
+    """
+    rng = make_rng(seed)
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    edges: Dict[str, Tuple[str, str]] = {}
+    idx = 0
+    for i in range(1, num_vertices):
+        targets = rng.sample(range(i), min(i, d))
+        for j in targets:
+            edges[f"R{idx}"] = (f"v{j}", f"v{i}")
+            idx += 1
+    return Hypergraph(edges)
+
+
+def random_acyclic_hypergraph(
+    num_edges: int,
+    arity: int,
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """A random connected alpha-acyclic hypergraph with bounded arity.
+
+    Grows a hypertree: each new edge shares a random non-empty subset of an
+    existing edge and adds fresh vertices up to ``arity``.
+    """
+    rng = make_rng(seed)
+    if arity < 2:
+        raise ValueError("arity must be at least 2")
+    fresh = 0
+
+    def new_vertices(n: int) -> List[str]:
+        nonlocal fresh
+        out = [f"x{fresh + i}" for i in range(n)]
+        fresh += n
+        return out
+
+    edges: Dict[str, Tuple[str, ...]] = {"E0": tuple(new_vertices(arity))}
+    for i in range(1, num_edges):
+        host = rng.choice(list(edges.values()))
+        share = rng.randint(1, min(arity - 1, len(host)))
+        shared = tuple(rng.sample(list(host), share))
+        edges[f"E{i}"] = shared + tuple(new_vertices(arity - share))
+    return Hypergraph(edges)
+
+
+# ---------------------------------------------------------------------------
+# Relation generators
+# ---------------------------------------------------------------------------
+
+
+def random_relation(
+    schema: Sequence[str],
+    domains: Mapping[str, Sequence[Any]],
+    size: int,
+    seed: Optional[int] = None,
+    semiring: Semiring = BOOLEAN,
+    name: Optional[str] = None,
+) -> Factor:
+    """A uniform random relation of (up to) ``size`` distinct tuples."""
+    rng = make_rng(seed)
+    schema = tuple(schema)
+    tuples = set()
+    capacity = 1
+    for v in schema:
+        capacity *= len(domains[v])
+    target = min(size, capacity)
+    while len(tuples) < target:
+        tuples.add(tuple(rng.choice(list(domains[v])) for v in schema))
+    return Factor.from_tuples(schema, tuples, semiring, name)
+
+
+def random_weighted_relation(
+    schema: Sequence[str],
+    domains: Mapping[str, Sequence[Any]],
+    size: int,
+    semiring: Semiring,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+    low: float = 0.1,
+    high: float = 1.0,
+) -> Factor:
+    """A random relation with uniform float annotations in [low, high]."""
+    rng = make_rng(seed)
+    base = random_relation(schema, domains, size, seed=rng.randrange(2**30))
+    rows = {t: rng.uniform(low, high) for t in base.tuples()}
+    return Factor(base.schema, rows, semiring, name)
+
+
+def matching_relation(
+    schema: Sequence[str],
+    size: int,
+    seed: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Factor:
+    """A skew-free "matching" relation: each value occurs in one tuple.
+
+    This is the input class of the MPC(0) comparison (Appendix A.1.2):
+    tuple ``i`` is ``(pi_1(i), pi_2(i), ...)`` for per-column random
+    permutations ``pi_j`` of ``[size]``.
+    """
+    rng = make_rng(seed)
+    schema = tuple(schema)
+    columns = []
+    for _ in schema:
+        perm = list(range(size))
+        rng.shuffle(perm)
+        columns.append(perm)
+    tuples = [tuple(col[i] for col in columns) for i in range(size)]
+    return Factor.from_tuples(schema, tuples, BOOLEAN, name)
+
+
+def domains_for(
+    hypergraph: Hypergraph, domain_size: int
+) -> Dict[str, Tuple[int, ...]]:
+    """Uniform integer domains ``[0, domain_size)`` for every variable."""
+    dom = tuple(range(domain_size))
+    return {v: dom for v in hypergraph.vertices}
+
+
+def random_instance(
+    hypergraph: Hypergraph,
+    domain_size: int,
+    relation_size: int,
+    seed: Optional[int] = None,
+    semiring: Semiring = BOOLEAN,
+    weighted: bool = False,
+) -> Tuple[Dict[str, Factor], Dict[str, Tuple[int, ...]]]:
+    """Random factors + domains for every hyperedge of ``hypergraph``.
+
+    Returns:
+        ``(factors, domains)`` ready to build an
+        :class:`~repro.faq.query.FAQQuery`.
+    """
+    rng = make_rng(seed)
+    domains = domains_for(hypergraph, domain_size)
+    factors = {}
+    for name, verts in hypergraph.edges():
+        schema = tuple(sorted(verts, key=str))
+        sub_seed = rng.randrange(2**30)
+        if weighted:
+            factors[name] = random_weighted_relation(
+                schema, domains, relation_size, semiring, sub_seed, name
+            )
+        else:
+            factors[name] = random_relation(
+                schema, domains, relation_size, sub_seed, semiring, name
+            )
+    return factors, domains

@@ -1,0 +1,105 @@
+"""Tests for the Datalog-notation query parser."""
+
+import pytest
+
+from repro.faq import scalar_value, solve_naive
+from repro.faq.datalog import (
+    DatalogSyntaxError,
+    datalog_query,
+    parse_datalog,
+)
+from repro.semiring import BOOLEAN, COUNTING, Factor
+from repro.workloads import domains_for
+
+
+def test_parse_example_22_query():
+    """q1() :- R(A,B), S(A,C), T(A,D), U(A,E) — Example 2.2 verbatim."""
+    h, free = parse_datalog("q1() :- R(A,B), S(A,C), T(A,D), U(A,E)")
+    assert free == ()
+    assert set(h.edge_names) == {"R", "S", "T", "U"}
+    assert h.edge("R") == frozenset({"A", "B"})
+    assert h.degree("A") == 4
+
+
+def test_parse_head_variables():
+    h, free = parse_datalog("q(A, C) :- R(A,B), S(B,C)")
+    assert free == ("A", "C")
+    assert h.num_vertices == 3
+
+
+def test_parse_self_join_gets_suffixes():
+    h, free = parse_datalog("q() :- E(A,B), E(B,C)")
+    assert set(h.edge_names) == {"E", "E#2"}
+    assert h.edge("E") == frozenset({"A", "B"})
+    assert h.edge("E#2") == frozenset({"B", "C"})
+
+
+def test_parse_errors():
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("no arrow here")
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("q() :- ")
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("q(Z) :- R(A,B)")  # head var not in body
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("q() :- R(A,A)")  # repeated var in one atom
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("q() :- R(A,")  # unbalanced
+    with pytest.raises(DatalogSyntaxError):
+        parse_datalog("q() :- R()")  # no variables
+
+
+def test_datalog_query_end_to_end_bcq():
+    rels = {
+        "R": Factor.from_tuples(("A", "B"), [(1, 2)], name="R"),
+        "S": Factor.from_tuples(("B", "C"), [(2, 3)], name="S"),
+    }
+    h, _ = parse_datalog("q() :- R(A,B), S(B,C)")
+    q = datalog_query(
+        "q() :- R(A,B), S(B,C)", rels, domains_for(h, 5)
+    )
+    assert scalar_value(solve_naive(q)) is True
+    assert q.free_vars == ()
+
+
+def test_datalog_query_with_free_vars():
+    rels = {
+        "R": Factor.from_tuples(("A", "B"), [(1, 2), (4, 2)], name="R"),
+        "S": Factor.from_tuples(("B", "C"), [(2, 3)], name="S"),
+    }
+    h, _ = parse_datalog("q(A) :- R(A,B), S(B,C)")
+    q = datalog_query("q(A) :- R(A,B), S(B,C)", rels, domains_for(h, 6))
+    out = solve_naive(q)
+    assert set(out.tuples()) == {(1,), (4,)}
+
+
+def test_datalog_query_semiring_lift():
+    rels = {
+        "R": Factor.from_tuples(("A",), [(1,)], COUNTING, name="R"),
+    }
+    h, _ = parse_datalog("q() :- R(A)")
+    q = datalog_query("q() :- R(A)", rels, {"A": (1, 2)})
+    assert q.semiring is BOOLEAN  # lifted from counting
+
+
+def test_datalog_query_missing_relation():
+    h, _ = parse_datalog("q() :- R(A,B)")
+    with pytest.raises(ValueError):
+        datalog_query("q() :- R(A,B)", {}, domains_for(h, 3))
+
+
+def test_datalog_distributed_end_to_end():
+    """Paper notation straight into the distributed planner."""
+    from repro import Planner, Topology
+
+    rels = {
+        "R": Factor.from_tuples(("A", "B"), [(0, 1), (2, 1)], name="R"),
+        "S": Factor.from_tuples(("A", "C"), [(0, 5)], name="S"),
+        "T": Factor.from_tuples(("A", "D"), [(0, 9), (7, 9)], name="T"),
+    }
+    text = "q() :- R(A,B), S(A,C), T(A,D)"
+    h, _ = parse_datalog(text)
+    q = datalog_query(text, rels, domains_for(h, 10))
+    report = Planner(q, Topology.line(3)).execute()
+    assert report.correct
+    assert scalar_value(report.answer) is True

@@ -1,0 +1,217 @@
+"""Edge cases and failure injection across the stack.
+
+Exercises the corner conditions the paper's model glosses over: empty
+relations, singleton domains, duplicate (parallel) relations, self-join
+shapes, missing players, tiny capacities, and adversarially empty
+intermediate results.
+"""
+
+import pytest
+
+from repro.core import Planner, assign_round_robin
+from repro.decomposition import best_gyo_ghd, gyo_ghd
+from repro.faq import (
+    FAQQuery,
+    bcq,
+    scalar_value,
+    solve_message_passing,
+    solve_naive,
+    solve_variable_elimination,
+)
+from repro.hypergraph import Hypergraph
+from repro.network import Topology
+from repro.protocols import run_distributed_faq
+from repro.semiring import BOOLEAN, COUNTING, Factor
+from repro.workloads import domains_for
+
+
+def test_all_relations_empty():
+    h = Hypergraph({"R": ("A", "B"), "S": ("B", "C")})
+    factors = {
+        "R": Factor(("A", "B"), {}, BOOLEAN, "R"),
+        "S": Factor(("B", "C"), {}, BOOLEAN, "S"),
+    }
+    q = bcq(h, factors, domains_for(h, 4))
+    assert scalar_value(solve_naive(q)) is False
+    rep = run_distributed_faq(
+        q, Topology.line(2), {"R": "P0", "S": "P1"}
+    )
+    assert scalar_value(rep.answer) is False
+
+
+def test_center_becomes_empty_mid_protocol():
+    """A star whose semijoin empties the center relation entirely."""
+    h = Hypergraph({"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D")})
+    factors = {
+        "R": Factor.from_tuples(("A", "B"), [(0, 0), (1, 1)], name="R"),
+        "S": Factor.from_tuples(("A", "C"), [(2, 0)], name="S"),
+        "T": Factor.from_tuples(("A", "D"), [(3, 0)], name="T"),
+    }
+    q = bcq(h, factors, domains_for(h, 5))
+    rep = run_distributed_faq(
+        q, Topology.line(3), {"R": "P0", "S": "P1", "T": "P2"}
+    )
+    assert scalar_value(rep.answer) is False
+
+
+def test_singleton_domains():
+    h = Hypergraph({"R": ("A", "B")})
+    factors = {"R": Factor.from_tuples(("A", "B"), [(0, 0)], name="R")}
+    q = bcq(h, factors, {"A": (0,), "B": (0,)})
+    assert scalar_value(solve_naive(q)) is True
+    rep = Planner(q, Topology.line(2), {"R": "P0"}, "P1").execute()
+    assert rep.correct
+
+
+def test_parallel_duplicate_relations():
+    """Two relations over the same attribute pair (a multi-hypergraph)."""
+    h = Hypergraph({"R1": ("A", "B"), "R2": ("A", "B")})
+    factors = {
+        "R1": Factor.from_tuples(("A", "B"), [(0, 0), (1, 1)], name="R1"),
+        "R2": Factor.from_tuples(("A", "B"), [(1, 1), (2, 2)], name="R2"),
+    }
+    q = bcq(h, factors, domains_for(h, 4))
+    assert scalar_value(solve_naive(q)) is True  # (1,1) survives both
+    ghd = best_gyo_ghd(h)
+    ghd.validate()
+    rep = run_distributed_faq(
+        q, Topology.line(2), {"R1": "P0", "R2": "P1"}
+    )
+    assert scalar_value(rep.answer) is True
+
+
+def test_parallel_relations_disjoint_gives_false():
+    h = Hypergraph({"R1": ("A", "B"), "R2": ("A", "B")})
+    factors = {
+        "R1": Factor.from_tuples(("A", "B"), [(0, 0)], name="R1"),
+        "R2": Factor.from_tuples(("A", "B"), [(1, 1)], name="R2"),
+    }
+    q = bcq(h, factors, domains_for(h, 3))
+    rep = run_distributed_faq(
+        q, Topology.line(2), {"R1": "P0", "R2": "P1"}
+    )
+    assert scalar_value(rep.answer) is False
+
+
+def test_unary_relations():
+    """The H0 query of Example 2.1: all relations unary on A."""
+    h = Hypergraph(
+        {"R": ("A",), "S": ("A",), "T": ("A",), "U": ("A",)}
+    )
+    factors = {
+        name: Factor.from_tuples(("A",), [(v,) for v in vals], name=name)
+        for name, vals in (
+            ("R", [0, 1, 2]), ("S", [1, 2, 3]), ("T", [2, 3]), ("U", [2]),
+        )
+    }
+    q = bcq(h, factors, domains_for(h, 5))
+    assert scalar_value(solve_naive(q)) is True  # A=2 in all four
+    rep = run_distributed_faq(
+        q, Topology.line(4),
+        {"R": "P0", "S": "P1", "T": "P2", "U": "P3"},
+    )
+    assert scalar_value(rep.answer) is True
+
+
+def test_unary_intersection_empty():
+    h = Hypergraph({"R": ("A",), "S": ("A",)})
+    factors = {
+        "R": Factor.from_tuples(("A",), [(0,)], name="R"),
+        "S": Factor.from_tuples(("A",), [(1,)], name="S"),
+    }
+    q = bcq(h, factors, domains_for(h, 3))
+    rep = run_distributed_faq(q, Topology.line(2), {"R": "P0", "S": "P1"})
+    assert scalar_value(rep.answer) is False
+
+
+def test_single_relation_query():
+    h = Hypergraph({"R": ("A", "B", "C")})
+    factors = {"R": Factor.from_tuples(("A", "B", "C"), [(0, 1, 2)], name="R")}
+    q = bcq(h, factors, domains_for(h, 4))
+    rep = Planner(q, Topology.line(2), {"R": "P0"}, "P1").execute()
+    assert rep.correct
+    assert scalar_value(rep.answer) is True
+
+
+def test_two_party_topology_runs():
+    """Model 2.2: the two-party graph is just a 2-node topology."""
+    topo = Topology.two_party()
+    h = Hypergraph({"R": ("A", "B"), "S": ("B", "C")})
+    factors = {
+        "R": Factor.from_tuples(("A", "B"), [(0, 1)], name="R"),
+        "S": Factor.from_tuples(("B", "C"), [(1, 2)], name="S"),
+    }
+    q = bcq(h, factors, domains_for(h, 4))
+    rep = run_distributed_faq(q, topo, {"R": "a", "S": "b"})
+    assert scalar_value(rep.answer) is True
+
+
+def test_counting_overflow_free_bigints():
+    """Python ints: huge counting annotations survive the protocol."""
+    h = Hypergraph({"R": ("A",), "S": ("A",)})
+    big = 10**30
+    factors = {
+        "R": Factor(("A",), {(0,): big}, COUNTING, "R"),
+        "S": Factor(("A",), {(0,): big}, COUNTING, "S"),
+    }
+    q = FAQQuery(h, factors, {"A": (0, 1)}, semiring=COUNTING)
+    assert scalar_value(solve_naive(q)) == big * big
+    rep = run_distributed_faq(q, Topology.line(2), {"R": "P0", "S": "P1"})
+    assert scalar_value(rep.answer) == big * big
+
+
+def test_disconnected_query_on_connected_topology():
+    h = Hypergraph({"R": ("A", "B"), "S": ("C", "D")})
+    factors = {
+        "R": Factor.from_tuples(("A", "B"), [(0, 0)], name="R"),
+        "S": Factor.from_tuples(("C", "D"), [(1, 1)], name="S"),
+    }
+    q = bcq(h, factors, domains_for(h, 3))
+    expected = scalar_value(solve_naive(q))
+    rep = run_distributed_faq(q, Topology.line(2), {"R": "P0", "S": "P1"})
+    assert scalar_value(rep.answer) == expected
+
+
+def test_capacity_one_network_still_correct():
+    """Thin pipes: capacity gets floored at the per-tuple cost but the
+    protocol must still terminate and be correct."""
+    h = Hypergraph({"R": ("A", "B"), "S": ("A", "C")})
+    factors = {
+        "R": Factor.from_tuples(("A", "B"), [(0, 0), (1, 0)], name="R"),
+        "S": Factor.from_tuples(("A", "C"), [(1, 1)], name="S"),
+    }
+    q = bcq(h, factors, {"A": (0, 1), "B": (0,), "C": (0, 1)})
+    rep = run_distributed_faq(q, Topology.line(2), {"R": "P0", "S": "P1"})
+    assert scalar_value(rep.answer) is True
+
+
+def test_ghd_for_single_edge():
+    h = Hypergraph({"R": ("A", "B")})
+    t = gyo_ghd(h)
+    t.validate()
+    assert t.num_internal_nodes == 0
+
+
+def test_solvers_on_query_with_shared_triple():
+    """A bowtie: two triangles sharing a vertex — cyclic core exercise."""
+    h = Hypergraph(
+        {
+            "R1": ("A", "B"), "R2": ("B", "C"), "R3": ("A", "C"),
+            "S1": ("C", "D"), "S2": ("D", "E"), "S3": ("C", "E"),
+        }
+    )
+    factors = {
+        name: Factor.from_tuples(
+            tuple(sorted(h.edge(name), key=str)),
+            [(0, 0), (1, 1)],
+            name=name,
+        )
+        for name in h.edge_names
+    }
+    q = bcq(h, factors, domains_for(h, 3))
+    expected = scalar_value(solve_naive(q))
+    assert scalar_value(solve_variable_elimination(q)) == expected
+    assert scalar_value(solve_message_passing(q)) == expected
+    topo = Topology.ring(6)
+    rep = run_distributed_faq(q, topo, assign_round_robin(q, topo))
+    assert scalar_value(rep.answer) == expected

@@ -1,0 +1,222 @@
+"""Tests for the min-entropy toolkit (Section 6.2, Appendices H/I)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entropy import (
+    conditional_smooth_min_entropy,
+    guessing_probability,
+    inner_product_distance,
+    lemma_6_1_bound,
+    lemma_6_3_bound,
+    matvec_min_entropy,
+    min_entropy,
+    planted_deficiency_matrices,
+    shannon_counterexample,
+    shannon_entropy,
+    smooth_min_entropy,
+    statistical_distance,
+    theorem_h9_bound,
+    uniform,
+    uniform_matrices,
+)
+
+
+def test_min_entropy_uniform():
+    assert min_entropy(uniform(16)) == pytest.approx(4.0)
+
+
+def test_min_entropy_peaked():
+    assert min_entropy({0: 0.5, 1: 0.25, 2: 0.25}) == pytest.approx(1.0)
+
+
+def test_shannon_vs_min_entropy():
+    d = {0: 0.5, 1: 0.25, 2: 0.25}
+    assert min_entropy(d) <= shannon_entropy(d)
+    u = uniform(8)
+    assert min_entropy(u) == pytest.approx(shannon_entropy(u))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        min_entropy({0: 0.5, 1: 0.6})
+    with pytest.raises(ValueError):
+        min_entropy({0: -0.1, 1: 1.1})
+    with pytest.raises(ValueError):
+        smooth_min_entropy(uniform(4), 1.5)
+    with pytest.raises(ValueError):
+        uniform(0)
+
+
+def test_smooth_min_entropy_zero_eps_is_plain():
+    d = {0: 0.5, 1: 0.5}
+    assert smooth_min_entropy(d, 0.0) == pytest.approx(min_entropy(d))
+
+
+def test_smooth_min_entropy_clips_peak():
+    # Clipping eps=0.25 off {0.5, 0.25, 0.25} flattens to max 0.25.
+    assert smooth_min_entropy({0: 0.5, 1: 0.25, 2: 0.25}, 0.25) == pytest.approx(2.0)
+
+
+def test_smooth_min_entropy_monotone_in_eps():
+    d = {0: 0.4, 1: 0.3, 2: 0.2, 3: 0.1}
+    values = [smooth_min_entropy(d, e) for e in (0.0, 0.1, 0.2, 0.3)]
+    assert values == sorted(values)
+
+
+def test_smooth_min_entropy_uniform_unchanged_small_eps():
+    # For uniform, clipping eps still raises entropy slightly (atoms drop
+    # below 1/n), so it must be >= the plain value.
+    u = uniform(8)
+    assert smooth_min_entropy(u, 0.1) >= min_entropy(u)
+
+
+def test_conditional_smooth_min_entropy_independent():
+    joint = {(x, y): 1 / 8 for x in range(4) for y in range(2)}
+    assert conditional_smooth_min_entropy(joint, 0.0) == pytest.approx(2.0)
+
+
+def test_conditional_smooth_min_entropy_determined():
+    joint = {(y, y): 1 / 4 for y in range(4)}
+    assert conditional_smooth_min_entropy(joint, 0.0) == pytest.approx(0.0)
+
+
+def test_guessing_probability_and_lemma_6_3():
+    # X determined by Y -> guess with probability 1.
+    joint = {(y, y): 1 / 4 for y in range(4)}
+    assert guessing_probability(joint) == pytest.approx(1.0)
+    # Independent uniform X given Y.
+    joint2 = {(x, y): 1 / 8 for x in range(4) for y in range(2)}
+    p = guessing_probability(joint2)
+    assert p == pytest.approx(0.25)
+    h = conditional_smooth_min_entropy(joint2, 0.0)
+    assert p <= lemma_6_3_bound(h, 0.0) + 1e-9
+
+
+def test_lemma_6_1_bound_shape():
+    # Conditioning on an l-bit variable costs at most l + log(1/eps').
+    rhs = lemma_6_1_bound(10.0, 3.0, 0.25)
+    assert rhs == pytest.approx(10.0 - 3.0 - 2.0)
+    with pytest.raises(ValueError):
+        lemma_6_1_bound(10.0, 3.0, 0.0)
+
+
+def test_statistical_distance():
+    assert statistical_distance(uniform(2), uniform(2)) == 0.0
+    assert statistical_distance({0: 1.0}, {1: 1.0}) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Theorem H.9 (inner-product extractor), numerically exact for small n
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_inner_product_extractor_within_bound_uniform(n):
+    d = inner_product_distance(uniform(2**n), uniform(2**n), n)
+    assert d <= theorem_h9_bound(n, n, n) + 1e-12
+
+
+def test_inner_product_extractor_flat_sources():
+    # y uniform on half the space, z uniform: H∞ = n-1 + n = 2n-1 -> Δ = (n-1)/n.
+    n = 4
+    half = {v: 1 / 8 for v in range(8)}
+    d = inner_product_distance(half, uniform(16), n)
+    assert d <= theorem_h9_bound(n, n - 1, n) + 1e-12
+
+
+def test_inner_product_extractor_fails_without_entropy():
+    # Point mass on y=0 gives <y, z> = 0 always: distance 1/2.
+    n = 3
+    d = inner_product_distance({0: 1.0}, uniform(8), n)
+    assert d == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.3 shape (matrix-vector amplification), exact for n = 3
+# ---------------------------------------------------------------------------
+
+
+def test_matvec_amplifies_min_entropy_uniform_a():
+    n = 3
+    da = uniform_matrices(n)
+    dx = {1: 0.5, 2: 0.5}  # H∞(x) = 1
+    h_out = matvec_min_entropy(da, dx, n)
+    assert h_out >= n - 0.2  # nearly full: uniform A randomizes any x != 0
+
+
+def test_matvec_amplification_degrades_with_planted_a():
+    n = 3
+    dx = {1: 0.5, 2: 0.5}
+    full = matvec_min_entropy(uniform_matrices(n), dx, n)
+    planted = matvec_min_entropy(planted_deficiency_matrices(n, 2), dx, n)
+    assert planted < full  # low-entropy A amplifies less
+
+
+def test_matvec_zero_vector_not_amplified():
+    n = 3
+    da = uniform_matrices(n)
+    dx = {0: 1.0}  # x = 0 deterministically: Ax = 0 always
+    assert matvec_min_entropy(da, dx, n) == pytest.approx(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Appendix I.3: the Shannon-entropy counterexample
+# ---------------------------------------------------------------------------
+
+
+def test_shannon_counterexample_shape():
+    out = shannon_counterexample(8, 2)
+    # H(x) ~ 2 alpha (1 - alpha) n; conditional collapses to ~ alpha n.
+    assert out["h_x"] > 1.5 * out["h_ax_given_fa_x"]
+    assert out["h_ax_given_fa_x"] <= out["claimed_upper"] + 1e-9
+
+
+def test_shannon_counterexample_factor_two_for_small_alpha():
+    out = shannon_counterexample(16, 2)  # alpha = 1/8
+    ratio = out["h_x"] / max(out["h_ax_given_fa_x"], 1e-9)
+    assert 1.6 <= ratio <= 2.4  # "about a factor two" (Appendix I.3)
+
+
+def test_shannon_counterexample_validation():
+    with pytest.raises(ValueError):
+        shannon_counterexample(4, 0)
+    with pytest.raises(ValueError):
+        shannon_counterexample(4, 4)
+
+
+# ---------------------------------------------------------------------------
+# Property tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=2, max_size=16),
+    st.floats(0.0, 0.5),
+)
+def test_smooth_min_entropy_at_least_plain(weights, eps):
+    total = math.fsum(weights)
+    dist = {i: w / total for i, w in enumerate(weights)}
+    assert smooth_min_entropy(dist, eps) >= min_entropy(dist) - 1e-9
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=16))
+def test_min_entropy_at_most_log_support(weights):
+    total = math.fsum(weights)
+    dist = {i: w / total for i, w in enumerate(weights)}
+    assert min_entropy(dist) <= math.log2(len(dist)) + 1e-9
+
+
+@settings(max_examples=25)
+@given(st.lists(st.floats(0.01, 1.0), min_size=2, max_size=12))
+def test_guessing_probability_matches_min_entropy(weights):
+    """With trivial Y, guessing probability = 2^{-H∞(X)}."""
+    total = math.fsum(weights)
+    joint = {(i, 0): w / total for i, w in enumerate(weights)}
+    p = guessing_probability(joint)
+    assert p == pytest.approx(2.0 ** (-min_entropy({i: w / total for i, w in enumerate(weights)})))

@@ -1,0 +1,131 @@
+"""Unit and property tests for the listing-representation Factor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.semiring import BOOLEAN, COUNTING, REAL, Factor
+
+
+def test_schema_must_be_duplicate_free():
+    with pytest.raises(ValueError):
+        Factor(("A", "A"))
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Factor(("A", "B"), {(1,): True})
+
+
+def test_zero_annotations_are_dropped():
+    f = Factor(("A",), {(1,): True, (2,): False}, BOOLEAN)
+    assert len(f) == 1
+    assert (1,) in f
+    assert (2,) not in f
+
+
+def test_duplicate_tuples_combine_additively():
+    f = Factor(("A",), [((1,), 2), ((1,), 3)], COUNTING)
+    assert f((1,)) == 5
+
+
+def test_call_returns_zero_for_absent():
+    f = Factor.from_tuples(("A", "B"), [(1, 2)], BOOLEAN)
+    assert f((1, 2)) is True
+    assert f((9, 9)) is False
+
+
+def test_from_tuples_annotates_one():
+    f = Factor.from_tuples(("A",), [(1,), (2,)], COUNTING)
+    assert f((1,)) == 1
+    assert len(f) == 2
+
+
+def test_constant_one_covers_product_domain():
+    f = Factor.constant_one(("A", "B"), {"A": [1, 2], "B": ["x"]}, COUNTING)
+    assert len(f) == 2
+    assert f((1, "x")) == 1
+    assert f((2, "x")) == 1
+
+
+def test_equality_semantics():
+    f = Factor(("A",), {(1,): 2}, COUNTING)
+    g = Factor(("A",), {(1,): 2}, COUNTING)
+    h = Factor(("A",), {(1,): 3}, COUNTING)
+    assert f == g
+    assert f != h
+    assert f != Factor(("B",), {(1,): 2}, COUNTING)
+
+
+def test_factor_unhashable():
+    f = Factor(("A",), {(1,): 2}, COUNTING)
+    with pytest.raises(TypeError):
+        hash(f)
+
+
+def test_rename():
+    f = Factor(("A", "B"), {(1, 2): 5}, COUNTING, name="R")
+    g = f.rename({"A": "X"})
+    assert g.schema == ("X", "B")
+    assert g((1, 2)) == 5
+    assert g.name == "R"
+
+
+def test_with_semiring_default_lifts_to_one():
+    f = Factor(("A",), {(1,): 7, (2,): 3}, COUNTING)
+    g = f.with_semiring(BOOLEAN)
+    assert g((1,)) is True
+    assert g((2,)) is True
+    assert g.semiring is BOOLEAN
+
+
+def test_with_semiring_custom_convert():
+    f = Factor(("A",), {(1,): 7}, COUNTING)
+    g = f.with_semiring(REAL, convert=float)
+    assert g((1,)) == 7.0
+
+
+def test_project_tuple_and_column_index():
+    f = Factor(("A", "B", "C"), {(1, 2, 3): True}, BOOLEAN)
+    assert f.project_tuple((1, 2, 3), ("C", "A")) == (3, 1)
+    assert f.column_index("B") == 1
+    with pytest.raises(KeyError):
+        f.column_index("Z")
+
+
+def test_active_domain():
+    f = Factor.from_tuples(("A", "B"), [(1, 10), (2, 10), (1, 20)])
+    assert f.active_domain("A") == {1, 2}
+    assert f.active_domain("B") == {10, 20}
+
+
+def test_size_bits():
+    f = Factor.from_tuples(("A", "B"), [(1, 2), (3, 4)])
+    assert f.size_bits(bits_per_tuple=16) == 32
+
+
+def test_copy_is_independent():
+    f = Factor(("A",), {(1,): 2}, COUNTING)
+    g = f.copy()
+    g.rows[(9,)] = 1
+    assert (9,) not in f
+
+
+@given(
+    st.dictionaries(
+        st.tuples(st.integers(0, 20)), st.integers(0, 5), max_size=30
+    )
+)
+def test_listing_representation_is_canonical(rows):
+    """Property: zero annotations never appear in a Factor's listing."""
+    f = Factor(("A",), rows, COUNTING)
+    assert all(v != 0 for v in f.rows.values())
+    for key, value in rows.items():
+        assert f(key) == value
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=40))
+def test_from_tuples_idempotent_under_duplicates(tuples):
+    """Property: Boolean factors ignore tuple multiplicity."""
+    f = Factor.from_tuples(("A", "B"), tuples, BOOLEAN)
+    assert set(f.tuples()) == set(map(tuple, tuples))

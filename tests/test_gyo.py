@@ -1,0 +1,166 @@
+"""Tests for GYO reduction, acyclicity and the core/forest decomposition."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    decompose,
+    gyo_reduce,
+    is_acyclic,
+    n2,
+)
+
+
+def appendix_c2_h3():
+    """H3 of Appendix C.2."""
+    return Hypergraph(
+        {
+            "e1": ("A", "B", "C"),
+            "e2": ("B", "C", "D"),
+            "e3": ("A", "C", "D"),
+            "e4": ("A", "B", "E"),
+            "e5": ("A", "F"),
+            "e6": ("B", "G"),
+            "e7": ("G", "H"),
+        }
+    )
+
+
+def test_star_is_acyclic():
+    assert is_acyclic(Hypergraph.star(5))
+
+
+def test_path_is_acyclic():
+    assert is_acyclic(Hypergraph.path(6))
+
+
+def test_fig1_h2_is_acyclic():
+    h2 = Hypergraph(
+        {
+            "R": ("A", "B", "C"),
+            "S": ("B", "D"),
+            "T": ("C", "F"),
+            "U": ("A", "B", "E"),
+        }
+    )
+    assert is_acyclic(h2)
+
+
+def test_cycle_is_cyclic():
+    assert not is_acyclic(Hypergraph.cycle(4))
+
+
+def test_triangle_hyperedge_makes_triangle_acyclic():
+    # A 3-cycle of binary edges is cyclic, but adding the covering
+    # 3-ary edge makes it (alpha-)acyclic.
+    h = Hypergraph(
+        {
+            "R": ("A", "B"),
+            "S": ("B", "C"),
+            "T": ("A", "C"),
+            "W": ("A", "B", "C"),
+        }
+    )
+    assert is_acyclic(h)
+
+
+def test_appendix_c2_reduction():
+    """The GYO run of Appendix C.2: H' = {e1, e2, e3}, forest = e4..e7."""
+    res = gyo_reduce(appendix_c2_h3())
+    assert not res.is_acyclic
+    assert set(res.reduced_edges) == {"e1", "e2", "e3"}
+    removed_names = {r.name for r in res.removed}
+    assert removed_names == {"e4", "e5", "e6", "e7"}
+    # H, G, F, E should all have been eliminated by step (a)
+    assert {"E", "F", "G", "H"} <= set(res.eliminated_vertices)
+
+
+def test_appendix_c2_decomposition_core_and_forest():
+    dec = decompose(appendix_c2_h3())
+    # All of e1, e2, e3 sit in the core; removed-tree roots join them.
+    assert {"e1", "e2", "e3"} <= set(dec.core_edge_names)
+    # Every removed edge is either a tree root (core) or a forest edge.
+    removed = {"e4", "e5", "e6", "e7"}
+    placed = set(dec.forest_edge_names) | (set(dec.tree_roots) & removed)
+    assert placed == removed
+    # Core vertices contain A..D.
+    assert {"A", "B", "C", "D"} <= set(dec.core_vertices)
+
+
+def test_acyclic_decomposition_has_empty_reduction():
+    dec = decompose(Hypergraph.star(4))
+    assert dec.is_pure_forest
+    assert len(dec.tree_roots) == 1
+    # One edge roots the single tree; the rest are forest edges.
+    assert len(dec.forest_edge_names) == 3
+
+
+def test_n2_of_acyclic_is_size_of_root_edge():
+    # For a star, the core is one root edge: 2 vertices.
+    assert n2(Hypergraph.star(6)) == 2
+    assert n2(Hypergraph.path(5)) == 2
+
+
+def test_n2_of_cycle_is_whole_cycle():
+    assert n2(Hypergraph.cycle(6)) == 6
+
+
+def test_n2_of_clique():
+    k = Hypergraph.clique(4)
+    assert n2(k) == 4
+
+
+def test_disconnected_forest_has_multiple_roots():
+    h = Hypergraph(
+        {
+            "R": ("A", "B"),
+            "S": ("B", "C"),
+            "X": ("P", "Q"),
+            "Y": ("Q", "Z"),
+        }
+    )
+    dec = decompose(h)
+    assert dec.is_pure_forest
+    assert len(dec.tree_roots) == 2
+
+
+def test_removed_edges_have_valid_witness_parents():
+    res = gyo_reduce(appendix_c2_h3())
+    by_name = res.removed_by_name()
+    for rec in res.removed:
+        if rec.parent is not None:
+            assert rec.parent in rec.witnesses
+            # Parent's edge (at some point) contained the residual.
+            parent_edge = (
+                by_name[rec.parent].original
+                if rec.parent in by_name
+                else res.hypergraph.edge(rec.parent)
+            )
+            assert rec.residual <= parent_edge
+
+
+def test_gyo_reduction_deterministic():
+    a = gyo_reduce(appendix_c2_h3())
+    b = gyo_reduce(appendix_c2_h3())
+    assert a.reduced_edges == b.reduced_edges
+    assert [r.name for r in a.removed] == [r.name for r in b.removed]
+
+
+def test_pendant_vertex_on_core_edge_still_covered():
+    # Triangle with a private pendant vertex X on e1: e1 survives shrunk,
+    # but X must still be accounted to the core (see gyo.Decomposition).
+    h = Hypergraph(
+        {"e1": ("A", "B", "X"), "e2": ("B", "C"), "e3": ("C", "A")}
+    )
+    dec = decompose(h)
+    assert "X" in dec.core_vertices
+
+
+def test_single_edge_hypergraph():
+    h = Hypergraph({"R": ("A", "B", "C")})
+    res = gyo_reduce(h)
+    assert res.is_acyclic
+    dec = decompose(h)
+    assert dec.tree_roots == ("R",)
+    assert dec.forest_edge_names == ()
+    assert dec.n2 == 3

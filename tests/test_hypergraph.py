@@ -1,0 +1,177 @@
+"""Tests for the multi-hypergraph substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    degeneracy,
+    degeneracy_ordering,
+    is_d_degenerate,
+    simple_graph_degeneracy,
+)
+
+
+def fig1_h1():
+    """The star H1 of Figure 1: R(A,B), S(A,C), T(A,D), U(A,E)."""
+    return Hypergraph(
+        {"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D"), "U": ("A", "E")}
+    )
+
+
+def fig1_h2():
+    """H2 of Figure 1: R(A,B,C), S(B,D), T(C,F), U(A,B,E)."""
+    return Hypergraph(
+        {
+            "R": ("A", "B", "C"),
+            "S": ("B", "D"),
+            "T": ("C", "F"),
+            "U": ("A", "B", "E"),
+        }
+    )
+
+
+def test_basic_accessors():
+    h = fig1_h2()
+    assert h.num_vertices == 6
+    assert h.num_edges == 4
+    assert h.arity == 3
+    assert h.edge("S") == frozenset({"B", "D"})
+    assert "A" in h
+    assert "Z" not in h
+
+
+def test_duplicate_edge_name_rejected():
+    with pytest.raises(ValueError):
+        Hypergraph([("R", ("A",)), ("R", ("B",))])
+
+
+def test_empty_edge_rejected():
+    with pytest.raises(ValueError):
+        Hypergraph({"R": ()})
+
+
+def test_multihypergraph_allows_parallel_edges():
+    h = Hypergraph({"R1": ("A", "B"), "R2": ("A", "B")})
+    assert h.num_edges == 2
+    assert h.degree("A") == 2
+
+
+def test_degree_and_incidence():
+    h = fig1_h1()
+    assert h.degree("A") == 4
+    assert h.degree("B") == 1
+    assert h.incident_edges("A") == {"R", "S", "T", "U"}
+
+
+def test_neighbors():
+    h = fig1_h2()
+    assert h.neighbors("D") == {"B"}
+    assert h.neighbors("B") == {"A", "C", "D", "E"}
+
+
+def test_induced_subhypergraph_shrinks_and_drops():
+    h = fig1_h2()
+    sub = h.induced_subhypergraph({"A", "B", "C"})
+    assert sub.edge("R") == frozenset({"A", "B", "C"})
+    assert sub.edge("S") == frozenset({"B"})
+    assert sub.num_edges == 4  # T -> {C}, U -> {A, B}
+
+
+def test_remove_vertex():
+    h = fig1_h1()
+    sub = h.remove_vertex("A")
+    assert sub.num_edges == 4
+    assert all(len(e) == 1 for e in sub.edge_sets())
+
+
+def test_restrict_edges():
+    h = fig1_h2()
+    sub = h.restrict_edges(["R", "S"])
+    assert sub.num_edges == 2
+    with pytest.raises(KeyError):
+        h.restrict_edges(["nope"])
+
+
+def test_connected_components():
+    h = Hypergraph({"R": ("A", "B"), "S": ("C", "D")})
+    comps = sorted(map(sorted, h.connected_components()))
+    assert comps == [["A", "B"], ["C", "D"]]
+    assert not h.is_connected()
+    assert fig1_h2().is_connected()
+
+
+def test_constructors_star_path_cycle_clique():
+    star = Hypergraph.star(4)
+    assert star.num_edges == 4
+    assert star.degree("A") == 4
+    path = Hypergraph.path(3)
+    assert path.num_edges == 3
+    assert path.num_vertices == 4
+    cycle = Hypergraph.cycle(5)
+    assert cycle.num_edges == 5
+    assert all(cycle.degree(v) == 2 for v in cycle.vertices)
+    clique = Hypergraph.clique(4)
+    assert clique.num_edges == 6
+    with pytest.raises(ValueError):
+        Hypergraph.cycle(2)
+    with pytest.raises(ValueError):
+        Hypergraph.star(0)
+
+
+def test_is_simple_graph():
+    assert fig1_h1().is_simple_graph()
+    assert not fig1_h2().is_simple_graph()
+
+
+# ---------------------------------------------------------------------------
+# Degeneracy (Definition 3.3)
+# ---------------------------------------------------------------------------
+
+
+def test_degeneracy_of_star_is_one_as_graph():
+    assert simple_graph_degeneracy(Hypergraph.star(10)) == 1
+
+
+def test_degeneracy_of_cycle_is_two_as_graph():
+    assert simple_graph_degeneracy(Hypergraph.cycle(7)) == 2
+
+
+def test_degeneracy_of_clique():
+    assert simple_graph_degeneracy(Hypergraph.clique(5)) == 4
+
+
+def test_degeneracy_of_tree_is_one():
+    assert simple_graph_degeneracy(Hypergraph.path(9)) == 1
+
+
+def test_hypergraph_degeneracy_peel():
+    # Every vertex of the Fig. 1 star has hypergraph degree equal to its
+    # incident edge count; leaves have degree 1, so peeling gives d=1... but
+    # the center retains degree 4 until removed; static-degree peel gives 4
+    # only if the center is peeled while still holding all edges.  Leaves
+    # peel first (degree 1), then the center's edges still contain it, so
+    # hypergraph degeneracy (vertex-induced) is 4.
+    d, order = degeneracy_ordering(Hypergraph.star(4))
+    assert d == 4
+    assert order[-1] == "A"
+
+
+def test_is_d_degenerate():
+    assert is_d_degenerate(Hypergraph.path(4), 2)
+    assert not is_d_degenerate(Hypergraph.star(5), 2)
+
+
+def test_degeneracy_empty():
+    assert degeneracy(Hypergraph(vertices=["A", "B"])) == 0
+
+
+@given(st.integers(3, 12))
+def test_cycle_graph_degeneracy_property(n):
+    assert simple_graph_degeneracy(Hypergraph.cycle(n)) == 2
+
+
+@given(st.integers(2, 8))
+def test_clique_graph_degeneracy_property(n):
+    assert simple_graph_degeneracy(Hypergraph.clique(n)) == n - 1

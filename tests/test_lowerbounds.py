@@ -1,0 +1,283 @@
+"""Tests for TRIBES and the lower-bound embeddings (Lemmas 4.3/4.4,
+Theorems 4.4/F.8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faq import bcq, scalar_value, solve_naive
+from repro.hypergraph import Hypergraph
+from repro.lowerbounds import (
+    TribesInstance,
+    bcq_bounds,
+    core_embedding_capacity,
+    embed_tribes_in_core,
+    embed_tribes_in_forest,
+    embed_tribes_in_hypergraph,
+    embedding_capacity,
+    faq_bounds,
+    find_disjoint_cycles,
+    greedy_independent_set,
+    hard_tribes,
+    random_tribes,
+    strong_independent_set,
+    structure_parameters,
+    table1_gap_budget,
+    tribes_round_lower_bound,
+)
+from repro.network import Topology
+
+
+# ---------------------------------------------------------------------------
+# TRIBES
+# ---------------------------------------------------------------------------
+
+
+def test_tribes_evaluation():
+    inst = TribesInstance(
+        4,
+        (
+            (frozenset({1}), frozenset({1, 2})),
+            (frozenset({0}), frozenset({0})),
+        ),
+    )
+    assert inst.disj(0) and inst.disj(1)
+    assert inst.evaluate() is True
+    inst2 = TribesInstance(4, ((frozenset({1}), frozenset({2})),))
+    assert inst2.evaluate() is False
+
+
+def test_hard_tribes_value_and_intersection_size():
+    for value in (True, False):
+        inst = hard_tribes(4, 10, value, seed=2)
+        assert inst.evaluate() == value
+        for s, t in inst.pairs:
+            assert len(s & t) <= 1  # Remark G.5
+
+
+def test_random_tribes_deterministic_seed():
+    a = random_tribes(3, 8, seed=5)
+    b = random_tribes(3, 8, seed=5)
+    assert a == b
+
+
+def test_lower_bound_formulas():
+    inst = random_tribes(3, 100, seed=1)
+    assert inst.lower_bound_rounds() == 300.0
+    assert tribes_round_lower_bound(3, 100, 1) == 300.0
+    assert tribes_round_lower_bound(3, 100, 4) == 300 / (4 * 2)
+    with pytest.raises(ValueError):
+        tribes_round_lower_bound(3, 100, 0)
+
+
+# ---------------------------------------------------------------------------
+# Forest embedding (Lemma 4.3)
+# ---------------------------------------------------------------------------
+
+
+def star_h():
+    return Hypergraph(
+        {"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D"), "U": ("A", "E")}
+    )
+
+
+def test_forest_embedding_star_structure():
+    tr = hard_tribes(1, 8, True, seed=0)
+    emb = embed_tribes_in_forest(star_h(), tr)
+    assert emb.o_nodes == ("A",)
+    assert len(emb.factors) == 4
+    assert emb.s_edges[0] != emb.t_edges[0]
+
+
+def test_forest_embedding_capacity_examples():
+    assert embedding_capacity(star_h()) == 1
+    # A path v0-v1-...-v6 has internal vertices on both sides; the larger
+    # bipartition class of degree-2 vertices is chosen.
+    assert embedding_capacity(Hypergraph.path(6)) == 3
+
+
+def test_forest_embedding_rejects_cyclic():
+    with pytest.raises(ValueError):
+        embed_tribes_in_forest(Hypergraph.cycle(4), hard_tribes(1, 4, True))
+
+
+def test_forest_embedding_rejects_oversized():
+    with pytest.raises(ValueError):
+        embed_tribes_in_forest(star_h(), hard_tribes(2, 4, True))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_forest_embedding_equivalence_property(seed, value):
+    """The machine-checked heart of Lemma 4.3: BCQ == TRIBES."""
+    h = Hypergraph.path(6)
+    m = embedding_capacity(h)
+    tr = hard_tribes(m, 6, value, seed=seed)
+    emb = embed_tribes_in_forest(h, tr)
+    q = bcq(emb.hypergraph, emb.factors, emb.domains)
+    assert scalar_value(solve_naive(q)) == value
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_forest_embedding_random_tribes_property(seed):
+    h = Hypergraph.path(6)
+    m = embedding_capacity(h)
+    tr = random_tribes(m, 5, seed=seed)
+    emb = embed_tribes_in_forest(h, tr)
+    q = bcq(emb.hypergraph, emb.factors, emb.domains)
+    assert scalar_value(solve_naive(q)) == tr.evaluate()
+
+
+# ---------------------------------------------------------------------------
+# Core embedding (Theorem 4.4)
+# ---------------------------------------------------------------------------
+
+
+def test_find_disjoint_cycles():
+    h = Hypergraph.cycle(6)
+    cycles = find_disjoint_cycles(h)
+    assert len(cycles) == 1
+    assert len(cycles[0]) == 6
+
+
+def test_greedy_independent_set_on_cycle():
+    h = Hypergraph.cycle(6)
+    ind = greedy_independent_set(h)
+    assert len(ind) >= 2
+    for u in ind:
+        for v in ind:
+            if u != v:
+                assert v not in h.neighbors(u)
+
+
+def test_core_capacity_modes():
+    mode, cap = core_embedding_capacity(Hypergraph.cycle(8))
+    assert cap >= 1
+    assert mode in ("cycles", "independent-set")
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_core_embedding_equivalence_property(seed, value):
+    """Theorem 4.4's reduction, machine-checked on a cycle query."""
+    h = Hypergraph.cycle(5)
+    _mode, cap = core_embedding_capacity(h)
+    tr = hard_tribes(min(1, cap), 16, value, seed=seed)  # 16 = 4² for cycles
+    emb = embed_tribes_in_core(h, tr)
+    q = bcq(emb.hypergraph, emb.factors, emb.domains)
+    assert scalar_value(solve_naive(q)) == value
+
+
+def test_cycle_embedding_needs_square_universe():
+    h = Hypergraph.cycle(5)
+    # Force cycle mode by requesting it directly.
+    from repro.lowerbounds.core_embedding import _embed_on_cycles
+
+    with pytest.raises(ValueError):
+        _embed_on_cycles(h, hard_tribes(1, 15, True, seed=0))
+
+
+def test_cycle_mode_equivalence():
+    from repro.lowerbounds.core_embedding import _embed_on_cycles
+
+    h = Hypergraph.cycle(6)
+    for seed in range(4):
+        for value in (True, False):
+            tr = hard_tribes(1, 9, value, seed=seed)
+            emb = _embed_on_cycles(h, tr)
+            q = bcq(emb.hypergraph, emb.factors, emb.domains)
+            assert scalar_value(solve_naive(q)) == value
+
+
+# ---------------------------------------------------------------------------
+# Hypergraph embedding (Theorem F.8)
+# ---------------------------------------------------------------------------
+
+
+def test_strong_independent_set_no_shared_edge():
+    h = Hypergraph(
+        {
+            "E0": ("a", "b", "c"),
+            "E1": ("c", "d", "e"),
+            "E2": ("e", "f", "g"),
+            "E3": ("b", "h", "i"),
+        }
+    )
+    sis = strong_independent_set(h)
+    for u in sis:
+        for v in sis:
+            if u != v:
+                shared = h.incident_edges(u) & h.incident_edges(v)
+                assert not shared
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.booleans())
+def test_hypergraph_embedding_equivalence_property(seed, value):
+    from repro.workloads import random_acyclic_hypergraph
+
+    h = random_acyclic_hypergraph(6, 3, seed=seed % 50)
+    cap = len(strong_independent_set(h))
+    if cap == 0:
+        return
+    tr = hard_tribes(min(cap, 2), 7, value, seed=seed)
+    emb = embed_tribes_in_hypergraph(h, tr)
+    q = bcq(emb.hypergraph, emb.factors, emb.domains)
+    assert scalar_value(solve_naive(q)) == value
+
+
+# ---------------------------------------------------------------------------
+# Bound formulas (Table 1 machinery)
+# ---------------------------------------------------------------------------
+
+
+def test_structure_parameters_star():
+    params = structure_parameters(star_h())
+    assert params["y"] == 1.0
+    assert params["r"] == 2.0
+    assert params["d"] == 1.0
+    assert params["acyclic"] == 1.0
+
+
+def test_bcq_bounds_line_scale_linearly_in_n():
+    h = star_h()
+    g = Topology.line(4)
+    players = g.nodes
+    b1 = bcq_bounds(h, g, players, 100)
+    b2 = bcq_bounds(h, g, players, 200)
+    assert b2.lower_rounds == 2 * b1.lower_rounds
+    assert b2.upper_rounds > b1.upper_rounds
+    assert 1 <= b1.gap < 50  # Õ(1) row: constant-ish gap
+
+
+def test_bcq_bounds_clique_smaller_than_line():
+    h = star_h()
+    n = 200
+    line = bcq_bounds(h, Topology.line(4), Topology.line(4).nodes, n)
+    clique = bcq_bounds(h, Topology.clique(4), Topology.clique(4).nodes, n)
+    assert clique.upper_rounds < line.upper_rounds
+    assert clique.lower_rounds <= line.lower_rounds
+
+
+def test_faq_bounds_divide_by_dr():
+    h = star_h()
+    g = Topology.line(4)
+    b = bcq_bounds(h, g, g.nodes, 100)
+    fb = faq_bounds(h, g, g.nodes, 100)
+    assert fb.lower_rounds == pytest.approx(b.lower_rounds / 2)  # d=1, r=2
+
+
+def test_table1_gap_budget():
+    assert table1_gap_budget("faq-line", 3, 4) == 1.0
+    assert table1_gap_budget("bcq-degenerate", 3, 2) == 3.0
+    assert table1_gap_budget("faq-hypergraph", 3, 4) == 9 * 16
+    assert table1_gap_budget("mcm", 1, 1) == 1.0
+    with pytest.raises(ValueError):
+        table1_gap_budget("unknown", 1, 1)
+
+
+def test_bound_report_gap_infinite_when_lower_zero():
+    from repro.lowerbounds.bounds import BoundReport
+
+    assert BoundReport(10.0, 0.0, {}).gap == float("inf")

@@ -1,0 +1,64 @@
+"""Tests for the MPC(0) comparison topology (Appendix A)."""
+
+import pytest
+
+from repro.network import mincut
+from repro.network.mpc import (
+    build_mpc0_topology,
+    compare_star_bounds,
+    input_node,
+    mpc_edge_capacity,
+    mpc_star_packing,
+    worker_node,
+)
+
+
+def test_topology_structure():
+    g = build_mpc0_topology(3, 4)
+    assert g.num_nodes == 7
+    # 3*4 input-worker edges + C(4,2) worker-clique edges.
+    assert g.num_edges == 12 + 6
+    assert not g.has_edge(input_node(0), input_node(1))
+    assert g.has_edge(input_node(0), worker_node(3))
+    assert g.has_edge(worker_node(0), worker_node(1))
+
+
+def test_topology_validation():
+    with pytest.raises(ValueError):
+        build_mpc0_topology(0, 4)
+    with pytest.raises(ValueError):
+        build_mpc0_topology(2, 0)
+
+
+def test_input_mincut_is_p():
+    """Each input node has exactly p edges, so MinCut over inputs is p."""
+    g = build_mpc0_topology(3, 5)
+    players = [input_node(i) for i in range(3)]
+    assert mincut(g, players) == 5
+
+
+def test_packing_is_edge_disjoint_and_complete():
+    packing = mpc_star_packing(4, 6)
+    assert len(packing) == 6
+    seen = set()
+    for tree in packing:
+        assert tree.terminal_diameter() == 2
+        assert set(tree.terminals) == {input_node(i) for i in range(4)}
+        for edge in tree.edges:
+            assert edge not in seen
+            seen.add(edge)
+
+
+def test_capacity_equation_13():
+    assert mpc_edge_capacity(4, 100, 10) == 10
+    assert mpc_edge_capacity(4, 5, 10) == 1  # floored at one bit
+
+
+def test_compare_star_bounds_constant():
+    for n in (128, 256, 512):
+        cmp = compare_star_bounds(4, 8, n)
+        assert cmp.rounds_at_mpc_capacity <= 8
+    # More workers -> smaller Steiner term.
+    few = compare_star_bounds(4, 2, 256)
+    many = compare_star_bounds(4, 16, 256)
+    assert many.steiner_rounds < few.steiner_rounds

@@ -1,0 +1,133 @@
+"""Tests for PGM models and inference (the paper's second FAQ-SS
+application: factor marginals)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgm import (
+    GraphicalModel,
+    brute_force_marginal,
+    chain_model,
+    grid_model,
+    map_value,
+    marginal,
+    partition_function,
+    tree_model,
+)
+from repro.semiring import BOOLEAN, REAL, Factor
+
+
+def test_model_validation():
+    bad = Factor(("A",), {(0,): True}, BOOLEAN)
+    with pytest.raises(ValueError):
+        GraphicalModel({"f": bad}, {"A": (0,)})
+    ok = Factor(("A",), {(0,): 1.0}, REAL)
+    with pytest.raises(ValueError):
+        GraphicalModel({"f": ok}, {})  # missing domain
+
+
+def test_chain_model_structure():
+    m = chain_model(5, 3, seed=0)
+    assert len(m.factors) == 5
+    assert m.hypergraph.num_vertices == 6
+    assert m.variables == {f"X{i}" for i in range(6)}
+
+
+def test_tree_model_structure():
+    m = tree_model(2, 2, 2, seed=0)
+    assert len(m.factors) == 6  # 2 + 4 edges
+    assert m.hypergraph.is_simple_graph()
+
+
+def test_grid_model_is_cyclic():
+    from repro.hypergraph import is_acyclic
+
+    m = grid_model(2, 2, 2, seed=0)
+    assert not is_acyclic(m.hypergraph)
+
+
+def test_chain_marginal_matches_brute_force():
+    m = chain_model(4, 3, seed=3)
+    got = marginal(m, ("X2",))
+    expected = brute_force_marginal(m, ("X2",))
+    for t, v in got:
+        assert math.isclose(v, expected[t], rel_tol=1e-9)
+
+
+def test_tree_marginal_matches_brute_force():
+    m = tree_model(2, 2, 2, seed=5)
+    got = marginal(m, ("X0",))
+    expected = brute_force_marginal(m, ("X0",))
+    for t, v in got:
+        assert math.isclose(v, expected[t], rel_tol=1e-9)
+
+
+def test_grid_marginal_matches_brute_force():
+    m = grid_model(2, 3, 2, seed=7)
+    got = marginal(m, ("X0_0",))
+    expected = brute_force_marginal(m, ("X0_0",))
+    for t, v in got:
+        assert math.isclose(v, expected[t], rel_tol=1e-9)
+
+
+def test_normalized_marginal_sums_to_one():
+    m = chain_model(3, 4, seed=1)
+    got = marginal(m, ("X1",), normalize=True)
+    assert math.isclose(math.fsum(v for _t, v in got), 1.0, rel_tol=1e-9)
+
+
+def test_pairwise_marginal():
+    """A factor marginal F = e (the paper's PGM special case)."""
+    m = chain_model(3, 2, seed=9)
+    got = marginal(m, ("X1", "X2"))
+    expected = brute_force_marginal(m, ("X1", "X2"))
+    for t, v in got:
+        assert math.isclose(v, expected[t], rel_tol=1e-9)
+
+
+def test_partition_function_equals_total_mass():
+    m = chain_model(3, 3, seed=2)
+    z = partition_function(m)
+    bf = brute_force_marginal(m, ())
+    assert math.isclose(z, bf[()], rel_tol=1e-9)
+
+
+def test_map_value_is_max_assignment_weight():
+    m = chain_model(3, 2, seed=4)
+    best = 0.0
+    import itertools
+
+    variables = sorted(m.variables, key=str)
+    for assignment in itertools.product(*(m.domains[v] for v in variables)):
+        env = dict(zip(variables, assignment))
+        weight = 1.0
+        for factor in m.factors.values():
+            weight *= factor(tuple(env[v] for v in factor.schema))
+        best = max(best, weight)
+    assert math.isclose(map_value(m), best, rel_tol=1e-9)
+
+
+def test_map_leq_partition_function():
+    m = chain_model(4, 2, seed=8)
+    assert map_value(m) <= partition_function(m) + 1e-12
+
+
+def test_normalize_zero_mass_raises():
+    f = Factor(("A", "B"), {}, REAL, "f")
+    m = GraphicalModel({"f": f}, {"A": (0,), "B": (0,)})
+    with pytest.raises(ValueError):
+        marginal(m, ("A",), normalize=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000), st.integers(2, 4), st.integers(2, 3))
+def test_chain_marginals_property(seed, length, dsize):
+    m = chain_model(length, dsize, seed=seed)
+    got = marginal(m, ("X0",))
+    expected = brute_force_marginal(m, ("X0",))
+    assert set(got.tuples()) == set(expected)
+    for t, v in got:
+        assert math.isclose(v, expected[t], rel_tol=1e-8)

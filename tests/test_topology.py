@@ -1,0 +1,207 @@
+"""Tests for topologies, cuts, Steiner packing and flow bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    Topology,
+    find_steiner_tree,
+    mincut,
+    mincut_partition,
+    pack_steiner_trees,
+    sparsity_bound,
+    st_value,
+    tau_mcf,
+    tau_mcf_bits,
+)
+
+
+def test_line_structure():
+    g = Topology.line(5)
+    assert g.num_nodes == 5
+    assert g.num_edges == 4
+    assert g.distance("P0", "P4") == 4
+    assert g.diameter() == 4
+    assert g.neighbors("P2") == ["P1", "P3"]
+
+
+def test_clique_structure():
+    g = Topology.clique(5)
+    assert g.num_edges == 10
+    assert g.diameter() == 1
+
+
+def test_star_ring_grid_tree_barbell():
+    assert Topology.star(4).degree("P0") == 4
+    assert Topology.ring(6).diameter() == 3
+    grid = Topology.grid(3, 3)
+    assert grid.num_nodes == 9
+    assert grid.distance("P0_0", "P2_2") == 4
+    tree = Topology.balanced_tree(2, 3)
+    assert tree.num_nodes == 15
+    bb = Topology.barbell(3, 2)
+    assert mincut(bb, ["L1", "R1"]) == 1
+
+
+def test_invalid_topologies():
+    with pytest.raises(ValueError):
+        Topology.line(1)
+    with pytest.raises(ValueError):
+        Topology([("a", "a")])
+    with pytest.raises(ValueError):
+        Topology.grid(1, 1)
+
+
+def test_bfs_tree():
+    g = Topology.line(4)
+    parents = g.bfs_tree("P3")
+    assert parents["P3"] is None
+    assert parents["P0"] == "P1"
+    assert parents["P2"] == "P3"
+
+
+def test_two_party():
+    g = Topology.two_party()
+    assert set(g.nodes) == {"a", "b"}
+
+
+# ---------------------------------------------------------------------------
+# MinCut (Definition 3.6)
+# ---------------------------------------------------------------------------
+
+
+def test_mincut_line_is_one():
+    g = Topology.line(6)
+    assert mincut(g, ["P0", "P5"]) == 1
+    assert mincut(g, g.nodes) == 1
+
+
+def test_mincut_clique():
+    g = Topology.clique(5)
+    assert mincut(g, g.nodes) == 4
+
+
+def test_mincut_ring_is_two():
+    g = Topology.ring(6)
+    assert mincut(g, ["P0", "P3"]) == 2
+
+
+def test_mincut_requires_two_players():
+    g = Topology.line(3)
+    with pytest.raises(ValueError):
+        mincut(g, ["P0"])
+    with pytest.raises(ValueError):
+        mincut(g, ["P0", "nope"])
+
+
+def test_mincut_partition_separates():
+    g = Topology.line(4)
+    side_a, side_b, crossing = mincut_partition(g, ["P0", "P3"])
+    assert ("P0" in side_a) != ("P0" in side_b)
+    assert len(crossing) == 1
+    for u, v in crossing:
+        assert (u in side_a) != (v in side_a)
+
+
+# ---------------------------------------------------------------------------
+# Steiner trees (Definitions 3.8-3.9, Theorem 3.10)
+# ---------------------------------------------------------------------------
+
+
+def test_find_steiner_tree_line():
+    g = Topology.line(5)
+    tree = find_steiner_tree(g, ["P0", "P4"])
+    assert tree is not None
+    assert len(tree.edges) == 4
+    assert tree.terminal_diameter() == 4
+
+
+def test_steiner_tree_parent_map_and_depth():
+    g = Topology.line(4)
+    tree = find_steiner_tree(g, g.nodes)
+    parents = tree.parent_map()
+    assert parents[tree.root] is None
+    assert set(parents) == set(tree.nodes)
+    assert tree.depth() >= 1
+
+
+def test_pack_line_single_tree():
+    g = Topology.line(5)
+    packed = pack_steiner_trees(g, g.nodes)
+    assert len(packed) == 1
+
+
+def test_pack_clique_many_trees():
+    """Theorem 3.10 shape: ST(G, K, |V|) = Ω(MinCut) on a clique."""
+    g = Topology.clique(6)
+    cut = mincut(g, g.nodes)
+    packed = pack_steiner_trees(g, g.nodes)
+    assert len(packed) >= cut // 2  # greedy is within a constant factor
+    # Edge-disjointness:
+    seen = set()
+    for tree in packed:
+        for edge in tree.edges:
+            assert edge not in seen
+            seen.add(edge)
+
+
+def test_pack_respects_diameter():
+    g = Topology.line(6)
+    assert st_value(g, g.nodes, max_diameter=2) == 0
+    assert st_value(g, g.nodes, max_diameter=5) == 1
+
+
+def test_single_terminal_packing():
+    g = Topology.line(3)
+    packed = pack_steiner_trees(g, ["P0"])
+    assert len(packed) == 1
+    assert packed[0].edges == ()
+
+
+# ---------------------------------------------------------------------------
+# τ_MCF (Definition 3.12)
+# ---------------------------------------------------------------------------
+
+
+def test_tau_mcf_zero_demand():
+    g = Topology.line(3)
+    assert tau_mcf(g, g.nodes, 0) == 0
+
+
+def test_tau_mcf_line_scales_with_n():
+    g = Topology.line(4)
+    assert tau_mcf(g, g.nodes, 100, sink="P0") == 100 + 3
+    assert tau_mcf(g, g.nodes, 200, sink="P0") == 200 + 3
+
+
+def test_tau_mcf_clique_divides_by_cut():
+    g = Topology.clique(5)
+    t = tau_mcf(g, g.nodes, 100, sink="P0")
+    assert t == 25 + 1
+
+
+def test_tau_mcf_bits():
+    g = Topology.line(3)
+    t = tau_mcf_bits(g, g.nodes, total_bits=64, bits_per_round=8, sink="P0")
+    assert t == 8 + 2
+
+
+def test_sparsity_bound():
+    g = Topology.line(4)
+    assert sparsity_bound(g, g.nodes, 100, 1) == 100.0
+    assert sparsity_bound(g, ["P0"], 100, 1) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 8))
+def test_mincut_clique_property(n):
+    g = Topology.clique(n)
+    assert mincut(g, g.nodes) == n - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 10))
+def test_line_distance_property(n):
+    g = Topology.line(n + 1)
+    assert g.distance("P0", f"P{n}") == n

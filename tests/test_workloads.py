@@ -1,0 +1,128 @@
+"""Tests for the workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import is_acyclic, simple_graph_degeneracy
+from repro.semiring import BOOLEAN, COUNTING, REAL
+from repro.workloads import (
+    domains_for,
+    matching_relation,
+    random_acyclic_hypergraph,
+    random_d_degenerate_query,
+    random_forest_query,
+    random_instance,
+    random_relation,
+    random_tree_query,
+    random_weighted_relation,
+)
+
+
+def test_random_tree_query_is_tree():
+    h = random_tree_query(7, seed=1)
+    assert h.num_edges == 7
+    assert h.num_vertices == 8
+    assert is_acyclic(h)
+    assert h.is_connected()
+
+
+def test_random_forest_query_components():
+    h = random_forest_query(3, 2, seed=2)
+    assert len(h.connected_components()) == 3
+    assert is_acyclic(h)
+
+
+def test_random_d_degenerate_query_bound():
+    for d in (1, 2, 3):
+        h = random_d_degenerate_query(10, d, seed=d)
+        assert simple_graph_degeneracy(h) <= d
+
+
+def test_random_d_degenerate_achieves_d_usually():
+    h = random_d_degenerate_query(12, 3, seed=0)
+    assert simple_graph_degeneracy(h) == 3
+
+
+def test_random_acyclic_hypergraph_properties():
+    h = random_acyclic_hypergraph(6, 4, seed=3)
+    assert h.num_edges == 6
+    assert h.arity <= 4
+    assert is_acyclic(h)
+    assert h.is_connected()
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        random_tree_query(0)
+    with pytest.raises(ValueError):
+        random_d_degenerate_query(1, 2)
+    with pytest.raises(ValueError):
+        random_acyclic_hypergraph(3, 1)
+
+
+def test_random_relation_size_and_domain():
+    domains = {"A": range(5), "B": range(5)}
+    r = random_relation(("A", "B"), domains, 10, seed=4)
+    assert len(r) == 10
+    assert r.active_domain("A") <= set(range(5))
+
+
+def test_random_relation_caps_at_capacity():
+    domains = {"A": range(2), "B": range(2)}
+    r = random_relation(("A", "B"), domains, 100, seed=5)
+    assert len(r) == 4  # full product domain
+
+
+def test_random_weighted_relation_annotations():
+    domains = {"A": range(8)}
+    r = random_weighted_relation(("A",), domains, 5, REAL, seed=6)
+    assert all(0.1 <= v <= 1.0 for _t, v in r)
+    assert r.semiring is REAL
+
+
+def test_matching_relation_is_skew_free():
+    r = matching_relation(("A", "B", "C"), 12, seed=7)
+    assert len(r) == 12
+    for var in r.schema:
+        idx = r.column_index(var)
+        values = [t[idx] for t in r.tuples()]
+        assert len(set(values)) == len(values)  # each value used once
+
+
+def test_domains_for():
+    h = random_tree_query(3, seed=8)
+    domains = domains_for(h, 6)
+    assert set(domains) == h.vertices
+    assert all(d == tuple(range(6)) for d in domains.values())
+
+
+def test_random_instance_semiring_choice():
+    h = random_tree_query(3, seed=9)
+    factors, _domains = random_instance(h, 4, 5, seed=9, semiring=COUNTING)
+    assert all(f.semiring is COUNTING for f in factors.values())
+    weighted, _ = random_instance(
+        h, 4, 5, seed=9, semiring=REAL, weighted=True
+    )
+    assert all(f.semiring is REAL for f in weighted.values())
+
+
+def test_determinism():
+    a, _ = random_instance(random_tree_query(4, seed=1), 5, 6, seed=2)
+    b, _ = random_instance(random_tree_query(4, seed=1), 5, 6, seed=2)
+    assert all(a[k] == b[k] for k in a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 4))
+def test_degeneracy_invariant_property(seed, d):
+    h = random_d_degenerate_query(8, d, seed=seed)
+    assert simple_graph_degeneracy(h) <= d
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 6), st.integers(2, 4))
+def test_acyclic_hypergraph_invariant_property(seed, edges, arity):
+    h = random_acyclic_hypergraph(edges, arity, seed=seed)
+    assert is_acyclic(h)
+    assert h.arity <= arity
