@@ -10,7 +10,10 @@ A from-scratch distributed FAQ/semiring query engine with:
   passing, Yannakakis) and the distributed protocols of Sections 4-6;
 * executable TRIBES lower-bound reductions and closed-form bound/gap
   calculators regenerating Table 1;
-* the min-entropy toolkit of the matrix-chain lower bound.
+* the min-entropy toolkit of the matrix-chain lower bound;
+* two factor storage backends — the generic ``"dict"`` data plane and a
+  vectorized NumPy ``"columnar"`` data plane — selected per query/solver
+  via the ``backend=`` knob.
 
 Quickstart::
 
@@ -19,7 +22,7 @@ Quickstart::
 
     h = Hypergraph.star(4)
     factors, domains = random_instance(h, domain_size=32, relation_size=64)
-    query = bcq(h, factors, domains)
+    query = bcq(h, factors, domains, backend="columnar")
     report = Planner(query, Topology.line(4)).execute()
     print(report.measured_rounds, report.correct)
 """
@@ -36,7 +39,22 @@ from .decomposition import GHD, best_gyo_ghd, internal_node_width
 from .faq import FAQQuery, bcq, marginal_query, natural_join_query, scalar_value
 from .hypergraph import Hypergraph, decompose, is_acyclic
 from .network import Topology
-from .semiring import BOOLEAN, COUNTING, GF2, MAX_TIMES, MIN_PLUS, REAL, Factor, Semiring
+from .semiring import (
+    BACKEND_COLUMNAR,
+    BACKEND_DICT,
+    BACKENDS,
+    BOOLEAN,
+    COUNTING,
+    GF2,
+    MAX_TIMES,
+    MIN_PLUS,
+    REAL,
+    ColumnarFactor,
+    Factor,
+    Semiring,
+    backend_of,
+    to_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -60,7 +78,13 @@ __all__ = [
     "internal_node_width",
     "Topology",
     "Factor",
+    "ColumnarFactor",
     "Semiring",
+    "BACKEND_DICT",
+    "BACKEND_COLUMNAR",
+    "BACKENDS",
+    "backend_of",
+    "to_backend",
     "BOOLEAN",
     "COUNTING",
     "REAL",

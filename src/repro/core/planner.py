@@ -116,6 +116,11 @@ class Planner:
         assignment: Relation -> player; defaults to round-robin over all
             nodes of ``G``.
         output_player: The player that must know the answer.
+        backend: Optional factor storage backend (``"dict"`` or
+            ``"columnar"``) applied to the query up front; both the
+            centralized reference solve and every player's free internal
+            computation then run on that data plane.  ``None`` (default)
+            keeps the query's own backend.
     """
 
     def __init__(
@@ -124,7 +129,11 @@ class Planner:
         topology: Topology,
         assignment: Optional[Dict[str, str]] = None,
         output_player: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
+        self.backend = backend
+        if backend is not None:
+            query = query.with_backend(backend)
         self.query = query
         self.topology = topology
         self.assignment = assignment or assign_round_robin(query, topology)

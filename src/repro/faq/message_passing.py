@@ -79,7 +79,11 @@ def upward_pass_message(
     return out
 
 
-def solve_message_passing(query: FAQQuery, ghd: Optional[GHD] = None) -> Factor:
+def solve_message_passing(
+    query: FAQQuery,
+    ghd: Optional[GHD] = None,
+    backend: Optional[str] = None,
+) -> Factor:
     """Evaluate ``query`` via the Theorem G.3 upward pass.
 
     Args:
@@ -88,6 +92,9 @@ def solve_message_passing(query: FAQQuery, ghd: Optional[GHD] = None) -> Factor:
             Appendix G.5); a free variable that would be aggregated on the
             way up raises.
         ghd: Optional decomposition; defaults to the best GYO-GHD.
+        backend: Optional storage backend override (``"dict"`` or
+            ``"columnar"``) applied to the factors for this solve only;
+            ``None`` keeps the query's own backend.
 
     Returns:
         A factor over ``query.free_vars``.
@@ -97,6 +104,8 @@ def solve_message_passing(query: FAQQuery, ghd: Optional[GHD] = None) -> Factor:
             running-intersection cone (the unsupported-free-variable case
             of Appendix G.5).
     """
+    if backend is not None:
+        query = query.with_backend(backend)
     tree = ghd or best_gyo_ghd(query.hypergraph)
     placement = assign_factors_to_ghd(query, tree)
     free = set(query.free_vars)

@@ -21,13 +21,21 @@ from .operations import (
 from .query import FAQQuery
 
 
-def solve_naive(query: FAQQuery) -> Factor:
+def solve_naive(query: FAQQuery, backend: str | None = None) -> Factor:
     """Evaluate ``query`` by brute force.
+
+    Args:
+        query: The FAQ instance.
+        backend: Optional storage backend override (``"dict"`` or
+            ``"columnar"``) applied to the factors for this solve only;
+            ``None`` keeps the query's own backend.
 
     Returns:
         A factor over ``query.free_vars`` (zero-arity for BCQ; read it with
         :func:`repro.faq.operations.scalar_value`).
     """
+    if backend is not None:
+        query = query.with_backend(backend)
     joined = multi_join(query.factors.values(), name="joined")
     for variable in query.elimination_order():
         aggregate = query.aggregate_for(variable)

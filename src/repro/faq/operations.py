@@ -3,15 +3,37 @@
 These are the relational/semiring operators the paper builds on:
 natural join (Definition 3.4), semijoin (Definition 3.5), projection
 ``pi_S`` and the aggregate push-down of Theorem G.1 / Corollary G.2.
+
+Each operator dispatches on the operands' storage backend: when every
+operand is a :class:`~repro.semiring.columnar.ColumnarFactor` (and, for
+marginalization, the aggregate is the semiring's own ⊕ without a
+full-domain fold), the vectorized kernels of
+:mod:`repro.semiring.columnar` run; otherwise the generic dict path below
+does, which accepts any mix of backends, semirings and aggregates.  Both
+paths produce the same canonical listing representation.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
-from ..semiring import Factor, Semiring
+from ..semiring import ColumnarFactor, Factor, Semiring, supports_columnar, to_backend
+from ..semiring.semirings import fold_repeat
+from ..semiring.columnar import (
+    columnar_join,
+    columnar_marginalize,
+    columnar_project,
+    columnar_semijoin,
+)
 
 Tuple_ = Tuple[Any, ...]
+
+
+def _columnar_operands(*factors: Factor) -> bool:
+    """True when every operand can take the vectorized path."""
+    return all(isinstance(f, ColumnarFactor) for f in factors) and supports_columnar(
+        factors[0].semiring
+    )
 
 
 def _merged_schema(a: Sequence[str], b: Sequence[str]) -> Tuple[str, ...]:
@@ -33,6 +55,10 @@ def join(left: Factor, right: Factor, name: str | None = None) -> Factor:
             f"{left.semiring.name!r} and {right.semiring.name!r}"
         )
     semiring = left.semiring
+    if _columnar_operands(left, right):
+        out = columnar_join(left, right, name)
+        if out is not None:
+            return out
     shared = tuple(v for v in left.schema if v in right.schema)
     out_schema = _merged_schema(left.schema, right.schema)
 
@@ -50,8 +76,6 @@ def join(left: Factor, right: Factor, name: str | None = None) -> Factor:
 
     # Positions to assemble the output tuple from (probe row, build row).
     out_rows: Dict[Tuple_, Any] = {}
-    build_only = [v for v in build.schema if v not in probe.schema]
-    build_only_idx = [build.column_index(v) for v in build_only]
     # Output order must follow out_schema: compute per-variable source.
     sources = []
     for v in out_schema:
@@ -71,7 +95,6 @@ def join(left: Factor, right: Factor, name: str | None = None) -> Factor:
                 out_rows[out] = semiring.add(out_rows[out], val)
             else:
                 out_rows[out] = val
-    del build_only_idx  # clarity: assembly is via `sources`
     return Factor(out_schema, out_rows, semiring, name)
 
 
@@ -99,6 +122,10 @@ def semijoin(left: Factor, right: Factor, name: str | None = None) -> Factor:
     variables appears in ``right``; annotations of ``left`` are preserved
     (the paper's usage is Boolean filtering, e.g. Examples 2.1–2.2).
     """
+    if _columnar_operands(left, right):
+        out = columnar_semijoin(left, right, name)
+        if out is not None:
+            return out
     shared = tuple(v for v in left.schema if v in right.schema)
     if not shared:
         # Degenerate: R1 ⋈ pi_∅(R2) — empty right empties left.
@@ -123,6 +150,10 @@ def project(factor: Factor, variables: Sequence[str], name: str | None = None) -
     duplicate images are combined with the semiring's ``add``.
     """
     variables = tuple(variables)
+    if _columnar_operands(factor):
+        out = columnar_project(factor, variables, name)
+        if out is not None:
+            return out
     idx = [factor.column_index(v) for v in variables]
     semiring = factor.semiring
     rows: Dict[Tuple_, Any] = {}
@@ -153,14 +184,28 @@ def marginalize(
             they carry the shared identity.
         full_domain: Must be supplied for *product aggregates* (⊕ = ⊗) or
             any operator whose identity is not the semiring zero: the fold
-            then runs over every domain value, with absent tuples
-            contributing the semiring zero (annihilating a product).
+            then runs left-to-right over ``full_domain`` *in the given
+            order*, with absent tuples contributing the semiring zero
+            (annihilating a product).  For a non-commutative or
+            non-associative ``combine`` the result therefore depends on the
+            order of ``full_domain``; callers must pass the domain in the
+            order the aggregate is meant to fold (semiring aggregates and
+            product aggregates are commutative, so the paper's queries are
+            insensitive to it).
         name: Optional output name.
 
     Returns:
         A factor over the schema without ``variable``.
     """
     semiring = factor.semiring
+    if (
+        full_domain is None
+        and (combine is None or combine is semiring.add)
+        and _columnar_operands(factor)
+    ):
+        out = columnar_marginalize(factor, variable, name)
+        if out is not None:
+            return out
     combine = combine or semiring.add
     var_idx = factor.column_index(variable)
     out_schema = tuple(v for v in factor.schema if v != variable)
@@ -209,15 +254,20 @@ def aggregate_absent_variable(
         raise ValueError("domain_size must be positive")
     semiring = factor.semiring
 
-    def scale(value: Any) -> Any:
-        acc = value
-        for _ in range(domain_size - 1):
-            acc = combine(acc, value)
-        return acc
+    if combine is semiring.add:
+        # The semiring's own fold gets the idempotent-add shortcut.
+        scale = lambda value: semiring.sum_repeat(value, domain_size)  # noqa: E731
+    else:
+        # Any other FAQ aggregate is associative and commutative, so the
+        # O(log |Dom|) double-and-add fold applies.
+        scale = lambda value: fold_repeat(combine, value, domain_size)  # noqa: E731
 
     del is_product  # same fold either way; kept for call-site clarity
     rows = {row: scale(value) for row, value in factor}
-    return Factor(factor.schema, rows, semiring, factor.name)
+    out = Factor(factor.schema, rows, semiring, factor.name)
+    # Per-row scaling is inherently scalar work, but keep the result on the
+    # input's backend so a columnar pipeline stays columnar afterwards.
+    return to_backend(out, factor.backend)
 
 
 def scalar(semiring: Semiring, value: Any) -> Factor:

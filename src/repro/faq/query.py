@@ -16,11 +16,12 @@ computed right-to-left over the bound-variable order.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..hypergraph import Hypergraph
-from ..semiring import BOOLEAN, Factor, Semiring
+from ..semiring import BOOLEAN, Factor, Semiring, to_backend, validate_backend
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,11 @@ class FAQQuery:
             solvers eliminate the last variable first.  Defaults to sorted
             bound variables.
         name: Optional label for reports.
+        backend: Factor storage backend: ``"dict"`` (generic, the seed
+            representation), ``"columnar"`` (vectorized NumPy data plane
+            for the standard numeric semirings; factors over unsupported
+            semirings stay dict), or ``None`` (default) to leave the
+            supplied factors' storage untouched.
     """
 
     hypergraph: Hypergraph
@@ -94,10 +100,16 @@ class FAQQuery:
     aggregates: Dict[str, Aggregate] = field(default_factory=dict)
     bound_order: Optional[Tuple[str, ...]] = None
     name: Optional[str] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.free_vars = tuple(self.free_vars)
         self.domains = {v: tuple(dom) for v, dom in self.domains.items()}
+        if self.backend is not None:
+            validate_backend(self.backend)
+            self.factors = {
+                n: to_backend(f, self.backend) for n, f in self.factors.items()
+            }
         self.validate()
         if self.bound_order is None:
             self.bound_order = tuple(sorted(self.bound_vars, key=str))
@@ -160,6 +172,18 @@ class FAQQuery:
             and self.aggregate_for(v).combine is None
             for v in self.bound_vars
         )
+
+    def with_backend(self, backend: Optional[str]) -> "FAQQuery":
+        """A copy of this query with factors stored in ``backend``.
+
+        ``"dict"`` / ``"columnar"`` normalize every factor to that storage
+        (columnar conversion skips factors over unsupported semirings);
+        ``None`` leaves factor storage untouched.  Returns ``self`` when
+        the backend already matches.
+        """
+        if backend == self.backend:
+            return self
+        return dataclasses.replace(self, backend=backend)
 
     def elimination_order(self) -> Tuple[str, ...]:
         """Bound variables in the order solvers eliminate them.
@@ -244,6 +268,7 @@ def bcq(
     relations: Mapping[str, Factor],
     domains: Mapping[str, Sequence[Any]],
     name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> FAQQuery:
     """A Boolean Conjunctive Query: ``F = ∅`` over the Boolean semiring."""
     factors = {
@@ -257,6 +282,7 @@ def bcq(
         free_vars=(),
         semiring=BOOLEAN,
         name=name or "BCQ",
+        backend=backend,
     )
 
 
@@ -265,6 +291,7 @@ def natural_join_query(
     relations: Mapping[str, Factor],
     domains: Mapping[str, Sequence[Any]],
     name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> FAQQuery:
     """The natural join: ``F = V`` over the Boolean semiring (footnote 4)."""
     factors = {
@@ -278,6 +305,7 @@ def natural_join_query(
         free_vars=tuple(sorted(hypergraph.vertices, key=str)),
         semiring=BOOLEAN,
         name=name or "NaturalJoin",
+        backend=backend,
     )
 
 
@@ -288,6 +316,7 @@ def marginal_query(
     free_vars: Sequence[str],
     semiring: Semiring,
     name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> FAQQuery:
     """An FAQ-SS marginal, e.g. a PGM factor marginal with ``F = e``."""
     return FAQQuery(
@@ -297,4 +326,5 @@ def marginal_query(
         free_vars=tuple(free_vars),
         semiring=semiring,
         name=name or "Marginal",
+        backend=backend,
     )

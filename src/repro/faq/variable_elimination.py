@@ -51,7 +51,9 @@ def greedy_elimination_order(query: FAQQuery) -> Tuple[str, ...]:
 
 
 def solve_variable_elimination(
-    query: FAQQuery, order: Optional[Sequence[str]] = None
+    query: FAQQuery,
+    order: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> Factor:
     """Evaluate ``query`` by sequential variable elimination.
 
@@ -62,6 +64,9 @@ def solve_variable_elimination(
         order: Optional elimination order over the bound variables.  When
             omitted: the listed right-to-left order for mixed-operator
             queries, or :func:`greedy_elimination_order` for FAQ-SS.
+        backend: Optional storage backend override (``"dict"`` or
+            ``"columnar"``) applied to the factors for this solve only;
+            ``None`` keeps the query's own backend.
 
     Returns:
         A factor over ``query.free_vars``.
@@ -71,6 +76,8 @@ def solve_variable_elimination(
             ``order`` is supplied for a mixed-operator query (reordering
             is only sound for FAQ-SS).
     """
+    if backend is not None:
+        query = query.with_backend(backend)
     occurs = set()
     for f in query.factors.values():
         occurs |= set(f.schema)

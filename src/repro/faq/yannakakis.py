@@ -34,13 +34,20 @@ def _boolean_locals(query: FAQQuery, tree: GHD) -> Dict[str, Optional[Factor]]:
     return locals_
 
 
-def solve_bcq_yannakakis(query: FAQQuery, ghd: Optional[GHD] = None) -> bool:
+def solve_bcq_yannakakis(
+    query: FAQQuery,
+    ghd: Optional[GHD] = None,
+    backend: Optional[str] = None,
+) -> bool:
     """Decide a Boolean Conjunctive Query with one bottom-up semijoin pass.
 
     Args:
         query: A BCQ (free variables are ignored; annotations are lifted to
             Boolean if needed).
         ghd: Optional join tree; defaults to the best GYO-GHD.
+        backend: Optional storage backend override (``"dict"`` or
+            ``"columnar"``) applied to the factors for this solve only;
+            ``None`` keeps the query's own backend.
 
     Returns:
         True iff the natural join of all relations is non-empty.
@@ -50,6 +57,8 @@ def solve_bcq_yannakakis(query: FAQQuery, ghd: Optional[GHD] = None) -> bool:
             requires a join tree; the protocols handle cyclic cores by the
             trivial protocol instead).
     """
+    if backend is not None:
+        query = query.with_backend(backend)
     if ghd is None:
         if not is_acyclic(query.hypergraph):
             raise ValueError(
@@ -80,8 +89,17 @@ def solve_bcq_yannakakis(query: FAQQuery, ghd: Optional[GHD] = None) -> bool:
     return root_factor is None or len(root_factor) > 0
 
 
-def full_reducer(query: FAQQuery, ghd: Optional[GHD] = None) -> Dict[str, Factor]:
+def full_reducer(
+    query: FAQQuery,
+    ghd: Optional[GHD] = None,
+    backend: Optional[str] = None,
+) -> Dict[str, Factor]:
     """Run the classic two-pass full reducer over the join tree.
+
+    Args:
+        query: A BCQ as in :func:`solve_bcq_yannakakis`.
+        ghd: Optional join tree; defaults to the best GYO-GHD.
+        backend: Optional storage backend override for this run.
 
     Returns:
         A mapping node_id -> globally consistent Boolean factor: every
@@ -92,6 +110,8 @@ def full_reducer(query: FAQQuery, ghd: Optional[GHD] = None) -> Dict[str, Factor
         or if some GHD node holds no factor (full reduction needs content
         at every node).
     """
+    if backend is not None:
+        query = query.with_backend(backend)
     if ghd is None:
         if not is_acyclic(query.hypergraph):
             raise ValueError("full_reducer requires an acyclic query")

@@ -33,7 +33,7 @@ from ..faq.message_passing import upward_pass_message
 from ..hypergraph import Hypergraph
 from ..network.simulator import SimulationResult, Simulator
 from ..network.topology import Topology
-from ..semiring import BOOLEAN, Factor
+from ..semiring import BOOLEAN, Factor, to_backend
 from .primitives import (
     Mailbox,
     chunk_packets,
@@ -388,14 +388,18 @@ def _make_player(plan: ProtocolPlan, node: str):
                 plan.value_bits,
                 f"s{star.star_id}:cc",
             )
-            # Phase D: the center's owner rebuilds its relation.
+            # Phase D: the center's owner rebuilds its relation (on the
+            # query's storage backend, so later phases stay vectorized).
             if node == center_owner:
                 new_rows = {
                     tuple(row): combined[i] for i, row in enumerate(rows)
                 }
-                state[star.center_edge] = Factor(
+                rebuilt = Factor(
                     star.center_schema, new_rows, semiring, star.center_edge
                 )
+                if query.backend is not None:
+                    rebuilt = to_backend(rebuilt, query.backend)
+                state[star.center_edge] = rebuilt
             # Leaves are absorbed; drop them everywhere.
             for leaf_edge in star.leaf_edges:
                 state.pop(leaf_edge, None)
@@ -461,6 +465,10 @@ def _finish_locally(query: FAQQuery, factors: Dict[str, Factor]) -> Factor:
             v for v in query.bound_order if v in residual_vars
         ),
         name=f"{query.name or 'faq'}/residual",
+        # The output player's free computation runs on the query's data
+        # plane: relations received over the wire (rebuilt as dict rows)
+        # are re-encoded columnar here when the query asks for it.
+        backend=query.backend,
     )
     try:
         return solve_variable_elimination(residual)

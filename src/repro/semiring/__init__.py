@@ -1,5 +1,18 @@
-"""Semirings and semiring-annotated relations (factors)."""
+"""Semirings, semiring-annotated relations (factors) and their backends."""
 
+from .backend import (
+    BACKEND_COLUMNAR,
+    BACKEND_DICT,
+    BACKENDS,
+    VECTOR_PROFILES,
+    VectorProfile,
+    backend_of,
+    profile_for,
+    supports_columnar,
+    to_backend,
+    validate_backend,
+)
+from .columnar import ColumnarFactor
 from .factor import Factor
 from .semirings import (
     BOOLEAN,
@@ -17,6 +30,7 @@ from .semirings import (
 
 __all__ = [
     "Factor",
+    "ColumnarFactor",
     "Semiring",
     "BOOLEAN",
     "COUNTING",
@@ -28,4 +42,14 @@ __all__ = [
     "BUILTIN_SEMIRINGS",
     "get_semiring",
     "check_semiring_axioms",
+    "BACKEND_DICT",
+    "BACKEND_COLUMNAR",
+    "BACKENDS",
+    "VectorProfile",
+    "VECTOR_PROFILES",
+    "backend_of",
+    "profile_for",
+    "supports_columnar",
+    "to_backend",
+    "validate_backend",
 ]

@@ -1,0 +1,189 @@
+"""Factor storage backends: the dict data plane vs the columnar data plane.
+
+The engine keeps its *cost model* (semirings, round/bit accounting) separate
+from its *data plane* (how factor rows are stored and how the Definition
+3.4/3.5 operators execute).  Two data planes exist:
+
+* ``"dict"`` — the seed representation: :class:`~repro.semiring.factor.Factor`
+  keeps a Python dict from value tuples to annotations and the operators in
+  :mod:`repro.faq.operations` iterate it tuple-by-tuple.  It works for *any*
+  hashable domain and *any* semiring, including custom ones.
+* ``"columnar"`` — :class:`~repro.semiring.columnar.ColumnarFactor` keeps one
+  ``int64`` code array per schema variable (dictionary-encoding arbitrary
+  hashable domains) plus one NumPy annotation array, and the operators run
+  vectorized (``searchsorted`` hash joins, ``ufunc.reduceat`` grouped
+  reductions).  It is available exactly for the builtin numeric semirings
+  that have a :class:`VectorProfile` below.
+
+The contract between the two: a ``ColumnarFactor`` *is a* ``Factor`` (same
+public surface; the ``rows`` dict is materialized lazily), every operator
+produces the same canonical listing representation on both backends, and any
+operator that cannot run vectorized — exotic semiring, custom aggregate,
+full-domain fold — silently falls back to the dict path.  See
+``docs/architecture.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from .semirings import (
+    BOOLEAN,
+    BUILTIN_SEMIRINGS,
+    COUNTING,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_PLUS,
+    REAL,
+    Semiring,
+)
+
+#: The dict (seed) backend name.
+BACKEND_DICT = "dict"
+#: The columnar (NumPy) backend name.
+BACKEND_COLUMNAR = "columnar"
+#: All recognized backend names.
+BACKENDS: Tuple[str, ...] = (BACKEND_DICT, BACKEND_COLUMNAR)
+
+# |v| <= 1e-12 is exactly when semirings._float_eq(v, 0.0) holds, so the
+# columnar zero-drop matches the dict Factor constructor's canonicalization.
+_FLOAT_ZERO_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class VectorProfile:
+    """How one builtin numeric semiring maps onto NumPy.
+
+    Attributes:
+        semiring_name: Name of the :class:`Semiring` this profile serves.
+        dtype: NumPy dtype of the annotation array.
+        add: The ⊕ ufunc (must support ``reduceat`` for grouped reduction).
+        mul: The ⊗ ufunc.
+        is_zero_mask: Vectorized ``semiring.is_zero``: annotation array ->
+            boolean mask of entries equal to the additive identity, matching
+            the semiring's ``eq`` (floating-point profiles use the same
+            absolute tolerance as :func:`repro.semiring.semirings._float_eq`
+            against zero).
+    """
+
+    semiring_name: str
+    dtype: Any
+    add: Any
+    mul: Any
+    is_zero_mask: Callable[[np.ndarray], np.ndarray]
+
+
+#: Vector profiles for the standard numeric semirings.  GF(2) and custom
+#: semirings are deliberately absent: they take the generic dict path.
+VECTOR_PROFILES: Dict[str, VectorProfile] = {
+    BOOLEAN.name: VectorProfile(
+        BOOLEAN.name, np.bool_, np.logical_or, np.logical_and,
+        lambda a: ~a,
+    ),
+    # Counting annotations live in int64 here, while the dict backend's
+    # Python ints are unbounded: workloads whose counts can reach 2**63
+    # (deep multiplicative joins) must stay on the dict backend, since
+    # NumPy integer arithmetic wraps silently on overflow.
+    COUNTING.name: VectorProfile(
+        COUNTING.name, np.int64, np.add, np.multiply,
+        lambda a: a == 0,
+    ),
+    REAL.name: VectorProfile(
+        REAL.name, np.float64, np.add, np.multiply,
+        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL,
+    ),
+    MIN_PLUS.name: VectorProfile(
+        MIN_PLUS.name, np.float64, np.minimum, np.add,
+        np.isposinf,
+    ),
+    MAX_PLUS.name: VectorProfile(
+        MAX_PLUS.name, np.float64, np.maximum, np.add,
+        np.isneginf,
+    ),
+    MAX_TIMES.name: VectorProfile(
+        MAX_TIMES.name, np.float64, np.maximum, np.multiply,
+        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL,
+    ),
+}
+
+
+def supports_columnar(semiring: Semiring) -> bool:
+    """True when ``semiring`` can back a :class:`ColumnarFactor`.
+
+    Keyed by *identity*, not just name: a custom semiring that reuses a
+    builtin name (but different operators) stays on the dict path.
+    """
+    return (
+        semiring.name in VECTOR_PROFILES
+        and BUILTIN_SEMIRINGS.get(semiring.name) is semiring
+    )
+
+
+def profile_for(semiring: Semiring) -> VectorProfile:
+    """The vector profile of a supported semiring.
+
+    Raises:
+        ValueError: if the semiring has no columnar support.
+    """
+    if not supports_columnar(semiring):
+        raise ValueError(
+            f"semiring {semiring.name!r} has no columnar vector profile; "
+            f"supported: {sorted(VECTOR_PROFILES)}"
+        )
+    return VECTOR_PROFILES[semiring.name]
+
+
+def validate_backend(backend: str) -> str:
+    """Check a backend name, returning it unchanged.
+
+    Raises:
+        ValueError: on an unknown backend name.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def to_backend(factor, backend: str):
+    """Convert ``factor`` to the requested storage backend.
+
+    Conversion to ``"columnar"`` is *graceful*: a factor over a semiring
+    without a vector profile (GF(2), custom aggregates, ...) — or whose
+    integer annotations exceed the int64 range of the columnar profile —
+    is returned unchanged, so a mixed query degrades to the dict path per
+    factor rather than failing.
+
+    Raises:
+        ValueError: on an unknown backend name.
+    """
+    validate_backend(backend)
+    from .columnar import ColumnarFactor  # deferred: columnar builds on us
+
+    if backend == BACKEND_COLUMNAR:
+        if isinstance(factor, ColumnarFactor):
+            return factor
+        if not supports_columnar(factor.semiring):
+            return factor
+        try:
+            return ColumnarFactor.from_factor(factor)
+        except OverflowError:
+            # Unbounded Python-int counts that do not fit int64: the dict
+            # backend is the only exact representation.
+            return factor
+    if isinstance(factor, ColumnarFactor):
+        return factor.to_dict_factor()
+    return factor
+
+
+def backend_of(factor) -> str:
+    """The backend name a factor instance is stored in.
+
+    Function-form convenience over the ``Factor.backend`` property (one
+    source of truth: this just reads it).
+    """
+    return factor.backend

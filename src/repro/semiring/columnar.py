@@ -1,0 +1,550 @@
+"""Columnar factors: the NumPy data plane for the numeric semirings.
+
+A :class:`ColumnarFactor` stores an ``n``-row factor as
+
+* one ``int64`` *code* array per schema variable, dictionary-encoding
+  arbitrary hashable domain values (code ``c`` of variable ``v`` decodes
+  via ``dictionary(v)[c]``), and
+* one annotation array in the dtype of the semiring's
+  :class:`~repro.semiring.backend.VectorProfile`.
+
+It is a :class:`~repro.semiring.factor.Factor` subclass with the same
+public surface — the ``rows`` dict is materialized lazily and cached — so
+every dict-path consumer (protocols, solvers, equality) keeps working
+unchanged.  The hot-path operators in :mod:`repro.faq.operations`
+dispatch to the vectorized kernels below whenever all operands are
+columnar:
+
+* :func:`columnar_join` — hash join via ``argsort``/``searchsorted`` on a
+  mixed-radix composite key over the shared columns;
+* :func:`columnar_project` / :func:`columnar_marginalize` — grouped
+  ⊕-reduction (``ufunc.reduceat`` over sort-clustered groups);
+* :func:`columnar_semijoin` — membership test against the sorted unique
+  keys of the right side.
+
+Kernels return ``None`` when they cannot run (the composite key would
+overflow ``int64`` — astronomically large combined dictionaries); callers
+then fall back to the generic dict path, which is always correct.
+
+Row tuples inside a :class:`ColumnarFactor` are unique (the kernels only
+ever produce unique rows from unique inputs, and every constructor goes
+through the canonicalizing :class:`Factor` dict first), and annotations
+never equal the semiring zero — the same canonical listing representation
+the dict backend maintains.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .backend import (
+    BACKEND_COLUMNAR,
+    VectorProfile,
+    profile_for,
+    supports_columnar,
+)
+from .factor import Factor, Tuple_
+from .semirings import BOOLEAN, Semiring
+
+# Composite keys are built in mixed radix; cap the radix product at 2**62
+# so ``key * card + code`` can never overflow a signed 64-bit integer.
+_MAX_RADIX = 2 ** 62
+
+# Integer-profile annotations (COUNTING) live in int64, where NumPy wraps
+# silently on overflow — a wrapped product hitting 0 would even be dropped
+# as a "zero" row.  Kernels bound the worst-case result magnitude up front
+# and return None (dict fallback, exact Python ints) when it could overflow.
+_INT64_MAX = 2 ** 63 - 1
+
+
+class ColumnarFactor(Factor):
+    """A factor whose rows live in per-variable NumPy code arrays.
+
+    Accepts the same ``(schema, rows, semiring, name)`` constructor as
+    :class:`Factor` (rows are canonicalized through the dict representation
+    first, then encoded), so the inherited ``from_tuples`` /
+    ``constant_one`` classmethods work unchanged.  Use
+    :meth:`from_factor` to convert an existing factor and
+    :meth:`_from_arrays` (internal) to wrap pre-built arrays.
+
+    The exposed ``codes`` / ``dictionaries`` / ``values`` buffers are
+    shared, not copied, between derived factors: treat them as immutable.
+
+    Raises:
+        ValueError: if the semiring has no vector profile (exotic
+            semirings stay on the dict backend; see
+            :func:`repro.semiring.backend.to_backend` for the graceful
+            conversion).
+    """
+
+    __slots__ = ("_codes", "_dicts", "_values", "_rows_cache")
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        rows: Mapping[Tuple_, Any] | Iterable[Tuple[Tuple_, Any]] = (),
+        semiring: Semiring = BOOLEAN,
+        name: str | None = None,
+    ) -> None:
+        base = Factor(schema, rows, semiring, name)
+        codes, dicts, values = _encode(base, profile_for(semiring))
+        self._adopt(base.schema, codes, dicts, values, semiring, base.name)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factor(cls, factor: Factor) -> "ColumnarFactor":
+        """Encode any factor columnar (identity on columnar inputs)."""
+        if isinstance(factor, ColumnarFactor):
+            return factor
+        codes, dicts, values = _encode(factor, profile_for(factor.semiring))
+        return cls._from_arrays(
+            factor.schema, codes, dicts, values, factor.semiring, factor.name
+        )
+
+    @classmethod
+    def _from_arrays(
+        cls,
+        schema: Sequence[str],
+        codes: Sequence[np.ndarray],
+        dicts: Sequence[List[Any]],
+        values: np.ndarray,
+        semiring: Semiring,
+        name: str | None = None,
+    ) -> "ColumnarFactor":
+        """Wrap pre-built arrays without re-canonicalizing (kernel use)."""
+        self = object.__new__(cls)
+        self._adopt(tuple(schema), codes, dicts, values, semiring, name)
+        return self
+
+    def _adopt(self, schema, codes, dicts, values, semiring, name) -> None:
+        schema = tuple(schema)
+        if len(set(schema)) != len(schema):
+            # Same invariant Factor.__init__ enforces; kernels and rename()
+            # route through here, so the backends fail identically.
+            raise ValueError(f"schema has duplicate variables: {schema}")
+        self.schema = schema
+        self.semiring = semiring
+        self.name = name
+        self._codes = tuple(
+            np.ascontiguousarray(c, dtype=np.int64) for c in codes
+        )
+        # Dictionaries are shared by reference between derived factors
+        # (immutable by convention, per the class docstring).
+        self._dicts = tuple(d if type(d) is list else list(d) for d in dicts)
+        self._values = values
+        self._rows_cache = None
+
+    # ------------------------------------------------------------------
+    # Columnar surface
+    # ------------------------------------------------------------------
+    @property
+    def codes(self) -> Tuple[np.ndarray, ...]:
+        """Per-schema-variable ``int64`` code arrays (treat as immutable)."""
+        return self._codes
+
+    @property
+    def dictionaries(self) -> Tuple[List[Any], ...]:
+        """Per-variable code -> domain-value lists (treat as immutable)."""
+        return self._dicts
+
+    @property
+    def values(self) -> np.ndarray:
+        """The annotation array (treat as immutable)."""
+        return self._values
+
+    @property
+    def backend(self) -> str:
+        return BACKEND_COLUMNAR
+
+    def dictionary(self, var: str) -> List[Any]:
+        """The dictionary (code -> value list) of one schema variable."""
+        return self._dicts[self.column_index(var)]
+
+    def to_dict_factor(self, name: str | None = None) -> Factor:
+        """Decode into a plain dict-backed :class:`Factor`."""
+        out = Factor(self.schema, semiring=self.semiring, name=name or self.name)
+        out.rows = dict(self.rows)
+        return out
+
+    # ------------------------------------------------------------------
+    # Factor surface (overridden where the dict would be materialized
+    # needlessly; everything else inherits and reads ``rows`` lazily)
+    # ------------------------------------------------------------------
+    @property
+    def rows(self):
+        """A read-only row mapping, decoded lazily from the columns.
+
+        Read-only because the arrays are the authoritative storage here —
+        mutating a returned dict (which *is* valid on the base ``Factor``)
+        would silently desync from the codes/values the kernels read.
+        """
+        if self._rows_cache is None:
+            values = self._values.tolist()
+            if not self.schema:
+                decoded = {(): v for v in values}
+            else:
+                columns = [
+                    [d[c] for c in codes.tolist()]
+                    for codes, d in zip(self._codes, self._dicts)
+                ]
+                decoded = {
+                    tuple(col[i] for col in columns): values[i]
+                    for i in range(len(values))
+                }
+            self._rows_cache = types.MappingProxyType(decoded)
+        return self._rows_cache
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def active_domain(self, var: str) -> set:
+        i = self.column_index(var)
+        d = self._dicts[i]
+        return {d[c] for c in np.unique(self._codes[i]).tolist()}
+
+    def size_bits(self, bits_per_tuple: int) -> int:
+        return len(self._values) * bits_per_tuple
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "ColumnarFactor":
+        new_schema = tuple(mapping.get(v, v) for v in self.schema)
+        return ColumnarFactor._from_arrays(
+            new_schema, self._codes, self._dicts, self._values,
+            self.semiring, name or self.name,
+        )
+
+    def copy(self, name: str | None = None) -> "ColumnarFactor":
+        return ColumnarFactor._from_arrays(
+            self.schema, self._codes, self._dicts, self._values,
+            self.semiring, name or self.name,
+        )
+
+    def with_semiring(self, semiring: Semiring, convert=None) -> Factor:
+        """Reinterpret in another semiring, staying columnar when possible.
+
+        Falls back to the dict result for unsupported target semirings or
+        converted annotations outside the vector profile's integer range —
+        the same graceful degradation :func:`to_backend` provides.
+        """
+        out = super().with_semiring(semiring, convert)
+        if supports_columnar(semiring):
+            try:
+                return ColumnarFactor.from_factor(out)
+            except OverflowError:
+                return out
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers
+# ---------------------------------------------------------------------------
+
+
+def _encode(factor: Factor, profile: VectorProfile):
+    """Dictionary-encode a dict-backed factor into columnar arrays."""
+    n = len(factor.rows)
+    arity = len(factor.schema)
+    dicts: List[List[Any]] = [[] for _ in range(arity)]
+    code_maps: List[dict] = [{} for _ in range(arity)]
+    codes = [np.empty(n, dtype=np.int64) for _ in range(arity)]
+    values = np.empty(n, dtype=profile.dtype)
+    for i, (row, value) in enumerate(factor.rows.items()):
+        for j, x in enumerate(row):
+            m = code_maps[j]
+            c = m.get(x)
+            if c is None:
+                c = len(dicts[j])
+                m[x] = c
+                dicts[j].append(x)
+            codes[j][i] = c
+        values[i] = value
+    return codes, dicts, values
+
+
+def _merge_dictionaries(left_dict: List[Any], right_dict: List[Any]):
+    """Merge two column dictionaries, preserving the left coding.
+
+    Returns:
+        ``(merged, remap)`` where ``merged`` extends ``left_dict`` with the
+        right-only values and ``remap[right_code] -> merged_code``.
+    """
+    index = {v: i for i, v in enumerate(left_dict)}
+    merged = list(left_dict)
+    remap = np.empty(len(right_dict), dtype=np.int64)
+    for j, v in enumerate(right_dict):
+        c = index.get(v)
+        if c is None:
+            c = len(merged)
+            index[v] = c
+            merged.append(v)
+        remap[j] = c
+    return merged, remap
+
+
+def _composite_key(
+    columns: Sequence[np.ndarray], cards: Sequence[int], n: int
+) -> Optional[np.ndarray]:
+    """Mixed-radix fold of code columns into one ``int64`` key per row.
+
+    Returns ``None`` when the radix product would overflow (callers fall
+    back to the dict path or to lexsort-based grouping).
+    """
+    key = np.zeros(n, dtype=np.int64)
+    radix = 1
+    for col, card in zip(columns, cards):
+        card = max(int(card), 1)
+        if radix > _MAX_RADIX // card:
+            return None
+        key = key * card + col
+        radix *= card
+    return key
+
+
+def _sort_groups(columns: Sequence[np.ndarray], cards: Sequence[int], n: int):
+    """Cluster rows by the given code columns.
+
+    Returns:
+        ``(order, starts)``: a permutation sorting rows into contiguous
+        groups and the start offset of each group in that order.  Uses the
+        composite key when it fits ``int64``; otherwise a lexsort over the
+        raw columns (never falls back to the dict path).
+    """
+    if not columns:
+        return np.arange(n, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    key = _composite_key(columns, cards, n)
+    if key is not None:
+        order = np.argsort(key)
+        sorted_key = key[order]
+        change = sorted_key[1:] != sorted_key[:-1]
+    else:
+        order = np.lexsort(tuple(reversed(columns)))
+        change = np.zeros(n - 1, dtype=bool)
+        for col in columns:
+            sorted_col = col[order]
+            change |= sorted_col[1:] != sorted_col[:-1]
+    starts = np.flatnonzero(np.concatenate(([True], change))).astype(np.int64)
+    return order, starts
+
+
+def _int_values_exceed(profile: VectorProfile, values: np.ndarray, bound: int) -> bool:
+    """True when ``values`` holds bounded ints whose magnitude tops ``bound``.
+
+    Used to pre-check overflow: float profiles saturate to ``inf`` safely
+    and are never flagged; integer (COUNTING) profiles wrap silently, so
+    any magnitude above ``bound`` sends the caller to the dict fallback.
+    """
+    if not np.issubdtype(profile.dtype, np.integer) or not len(values):
+        return False
+    return int(np.abs(values).max()) > bound
+
+
+def _shared_key_pair(left: ColumnarFactor, right: ColumnarFactor, shared):
+    """Composite join keys over the shared columns of two factors.
+
+    Merges the per-variable dictionaries left-preserving, then folds each
+    side's (remapped) code columns into one ``int64`` key per row.
+
+    Returns:
+        ``(left_key, right_key, merged_dicts)``, or ``None`` when the
+        composite key would overflow (callers fall back to the dict path).
+    """
+    merged_dicts = {}
+    left_cols, right_cols, cards = [], [], []
+    for v in shared:
+        li, ri = left.column_index(v), right.column_index(v)
+        merged, remap = _merge_dictionaries(
+            left.dictionaries[li], right.dictionaries[ri]
+        )
+        merged_dicts[v] = merged
+        left_cols.append(left.codes[li])
+        right_cols.append(remap[right.codes[ri]])
+        cards.append(len(merged))
+    left_key = _composite_key(left_cols, cards, len(left))
+    right_key = _composite_key(right_cols, cards, len(right))
+    if left_key is None or right_key is None:
+        return None
+    return left_key, right_key, merged_dicts
+
+
+def _empty_like(
+    schema: Sequence[str],
+    dicts: Sequence[List[Any]],
+    semiring: Semiring,
+    name: str | None,
+) -> ColumnarFactor:
+    profile = profile_for(semiring)
+    return ColumnarFactor._from_arrays(
+        schema,
+        [np.empty(0, dtype=np.int64) for _ in schema],
+        dicts,
+        np.empty(0, dtype=profile.dtype),
+        semiring,
+        name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized operator kernels
+# ---------------------------------------------------------------------------
+
+
+def columnar_join(
+    left: ColumnarFactor, right: ColumnarFactor, name: str | None = None
+) -> Optional[ColumnarFactor]:
+    """Vectorized natural join with ⊗-multiplied annotations.
+
+    Sorts the right side on the composite shared-variable key and probes
+    it with ``searchsorted`` (the columnar analogue of the dict hash
+    join); match runs are expanded with ``repeat``/``arange`` arithmetic.
+    Returns ``None`` on composite-key overflow, or when an integer-profile
+    annotation product could overflow ``int64`` (caller falls back to the
+    dict path's exact arithmetic).
+    """
+    profile = profile_for(left.semiring)
+    if np.issubdtype(profile.dtype, np.integer) and len(left) and len(right):
+        left_max = int(np.abs(left.values).max())
+        right_max = int(np.abs(right.values).max())
+        if left_max and right_max and left_max > _INT64_MAX // right_max:
+            return None
+    shared = [v for v in left.schema if v in right.schema]
+    out_schema = tuple(left.schema) + tuple(
+        v for v in right.schema if v not in left.schema
+    )
+    n_left = len(left)
+
+    keys = _shared_key_pair(left, right, shared)
+    if keys is None:
+        return None
+    left_key, right_key, merged_dicts = keys
+
+    order = np.argsort(right_key)
+    right_sorted = right_key[order]
+    lo = np.searchsorted(right_sorted, left_key, side="left")
+    hi = np.searchsorted(right_sorted, left_key, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(n_left, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    right_idx = order[np.repeat(lo, counts) + within]
+
+    values = profile.mul(left.values[left_idx], right.values[right_idx])
+    zero = profile.is_zero_mask(values)
+    if zero.any():
+        keep = ~zero
+        left_idx, right_idx, values = left_idx[keep], right_idx[keep], values[keep]
+
+    out_codes, out_dicts = [], []
+    for v in out_schema:
+        if v in merged_dicts:
+            out_codes.append(left.codes[left.column_index(v)][left_idx])
+            out_dicts.append(merged_dicts[v])
+        elif v in left.schema:
+            i = left.column_index(v)
+            out_codes.append(left.codes[i][left_idx])
+            out_dicts.append(left.dictionaries[i])
+        else:
+            i = right.column_index(v)
+            out_codes.append(right.codes[i][right_idx])
+            out_dicts.append(right.dictionaries[i])
+    return ColumnarFactor._from_arrays(
+        out_schema, out_codes, out_dicts, values, left.semiring, name
+    )
+
+
+def columnar_semijoin(
+    left: ColumnarFactor, right: ColumnarFactor, name: str | None = None
+) -> Optional[ColumnarFactor]:
+    """Vectorized semijoin ``left ⋉ right`` (Definition 3.5).
+
+    Returns ``None`` on composite-key overflow (caller falls back).
+    """
+    shared = [v for v in left.schema if v in right.schema]
+    if not shared:
+        if len(right) == 0:
+            return _empty_like(left.schema, left.dictionaries, left.semiring, name)
+        return left.copy(name=name)
+    if len(left) == 0 or len(right) == 0:
+        return _empty_like(left.schema, left.dictionaries, left.semiring, name)
+
+    keys = _shared_key_pair(left, right, shared)
+    if keys is None:
+        return None
+    left_key, right_key, _merged = keys
+
+    uniq = np.unique(right_key)
+    pos = np.minimum(np.searchsorted(uniq, left_key), len(uniq) - 1)
+    keep = uniq[pos] == left_key
+    return ColumnarFactor._from_arrays(
+        left.schema,
+        [c[keep] for c in left.codes],
+        left.dictionaries,
+        left.values[keep],
+        left.semiring,
+        name,
+    )
+
+
+def _grouped_reduce(
+    factor: ColumnarFactor, out_vars: Sequence[str], name: str | None
+) -> Optional[ColumnarFactor]:
+    """Group rows by ``out_vars`` and ⊕-reduce each group's annotations.
+
+    Returns ``None`` when an integer-profile group sum could overflow
+    ``int64`` (worst case: every row in one group at the max magnitude);
+    callers fall back to the dict path's exact arithmetic.
+    """
+    profile = profile_for(factor.semiring)
+    out_vars = tuple(out_vars)
+    idx = [factor.column_index(v) for v in out_vars]
+    out_dicts = [factor.dictionaries[i] for i in idx]
+    n = len(factor)
+    if n == 0:
+        return _empty_like(out_vars, out_dicts, factor.semiring, name)
+    if _int_values_exceed(profile, factor.values, _INT64_MAX // n):
+        return None
+
+    columns = [factor.codes[i] for i in idx]
+    cards = [len(factor.dictionaries[i]) for i in idx]
+    order, starts = _sort_groups(columns, cards, n)
+    reduced = profile.add.reduceat(factor.values[order], starts)
+    representatives = order[starts]
+    out_codes = [c[representatives] for c in columns]
+
+    zero = profile.is_zero_mask(reduced)
+    if zero.any():
+        keep = ~zero
+        reduced = reduced[keep]
+        out_codes = [c[keep] for c in out_codes]
+    return ColumnarFactor._from_arrays(
+        out_vars, out_codes, out_dicts, reduced, factor.semiring, name
+    )
+
+
+def columnar_project(
+    factor: ColumnarFactor, variables: Sequence[str], name: str | None = None
+) -> Optional[ColumnarFactor]:
+    """Vectorized projection ``pi_variables`` with ⊕-combined duplicates.
+
+    Returns ``None`` on possible integer overflow (caller falls back).
+    """
+    return _grouped_reduce(factor, variables, name)
+
+
+def columnar_marginalize(
+    factor: ColumnarFactor, variable: str, name: str | None = None
+) -> Optional[ColumnarFactor]:
+    """Vectorized FAQ-SS marginalization (⊕ = the semiring's ``add``).
+
+    Custom aggregates and full-domain folds take the dict path; the
+    dispatcher in :mod:`repro.faq.operations` enforces that.  Returns
+    ``None`` on possible integer overflow (caller falls back).
+    """
+    factor.column_index(variable)  # raise KeyError on absent variables
+    out_schema = tuple(v for v in factor.schema if v != variable)
+    return _grouped_reduce(factor, out_schema, name)

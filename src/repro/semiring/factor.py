@@ -8,6 +8,12 @@ The paper (Section 1) represents each input function
 :class:`Factor` is exactly that: a schema (ordered tuple of variable names)
 plus a dict mapping value-tuples to non-zero semiring annotations.  A plain
 relation is a Boolean factor (every present tuple annotated ``True``).
+
+This dict storage is the ``"dict"`` *backend*: fully generic over hashable
+domains and arbitrary semirings.  The vectorized ``"columnar"`` backend
+(:class:`~repro.semiring.columnar.ColumnarFactor`, a subclass with the same
+public surface) stores rows as per-variable NumPy code arrays; convert
+between the two with :func:`repro.semiring.backend.to_backend`.
 """
 
 from __future__ import annotations
@@ -137,6 +143,12 @@ class Factor:
     def arity(self) -> int:
         """Number of variables in the schema (paper's ``r`` per relation)."""
         return len(self.schema)
+
+    @property
+    def backend(self) -> str:
+        """Storage backend name (``"dict"`` here; ``"columnar"`` on the
+        NumPy-backed subclass)."""
+        return "dict"
 
     def column_index(self, var: str) -> int:
         """Position of ``var`` in the schema.

@@ -77,20 +77,37 @@ class Semiring:
             return self.zero
         if self.is_idempotent_add:
             return value
-        # Double-and-add so huge domains stay cheap.
-        acc = self.zero
-        base = value
-        n = times
-        while n:
-            if n & 1:
-                acc = self.add(acc, base)
-            base = self.add(base, base)
-            n >>= 1
-        return acc
+        return fold_repeat(self.add, value, times)
 
     def is_zero(self, value: Any) -> bool:
         """True when ``value`` equals the additive identity."""
         return self.eq(value, self.zero)
+
+
+def fold_repeat(op: Callable[[Any, Any], Any], value: Any, times: int) -> Any:
+    """Fold ``times`` copies of ``value`` under an associative, commutative
+    binary ``op`` in O(log times) via double-and-add.
+
+    Used by :meth:`Semiring.sum_repeat` and by
+    :func:`repro.faq.operations.aggregate_absent_variable` (any FAQ
+    aggregate qualifies).
+
+    Raises:
+        ValueError: if ``times`` is not positive (there is no generic
+            identity to return for an empty fold).
+    """
+    if times < 1:
+        raise ValueError(f"times must be positive, got {times}")
+    acc = None
+    base = value
+    n = times
+    while n:
+        if n & 1:
+            acc = base if acc is None else op(acc, base)
+        n >>= 1
+        if n:
+            base = op(base, base)
+    return acc
 
 
 def _float_eq(a: Any, b: Any) -> bool:
