@@ -23,11 +23,13 @@ It prints a comparison table and asserts:
   dict-path run, so converting *pays off within one operator*.
 """
 
+import json
 import random
 import time
 
 from repro.faq import join, marginalize, natural_join_query, project, solve_variable_elimination
 from repro.hypergraph import Hypergraph
+from repro.lab import get_suite, run_suite
 from repro.semiring import (
     BACKEND_COLUMNAR,
     BACKEND_DICT,
@@ -145,3 +147,27 @@ def test_solver_workload_parity_and_speedup():
     assert dict_answer.schema == col_answer.schema
     assert dict_answer.rows == col_answer.rows
     assert speedup >= 2.0, f"solver speedup only {speedup:.1f}x"
+
+
+def test_backend_parity_end_to_end_via_lab():
+    """The ``backend-compare`` lab suite: full distributed executions on
+    identical scenarios, dict vs columnar.  Answers (by content digest),
+    round counts and correctness must match pairwise — the backend is a
+    data-plane choice and must never change protocol behaviour."""
+    run = run_suite(get_suite("backend-compare"))
+    pairs = {}
+    for result in run.results:
+        spec = result.spec.to_json_dict()
+        backend = spec.pop("backend")
+        pairs.setdefault(json.dumps(spec, sort_keys=True), {})[backend] = result
+
+    print_banner("backend parity — distributed protocol via repro.lab")
+    assert pairs and all(len(group) == 2 for group in pairs.values())
+    for group in pairs.values():
+        a, b = group["dict"], group["columnar"]
+        print(
+            f"  {a.query_name:<16} {a.topology_name:<16} rounds={a.measured_rounds}"
+        )
+        assert a.correct and b.correct
+        assert a.measured_rounds == b.measured_rounds
+        assert a.answer_digest == b.answer_digest

@@ -1,38 +1,37 @@
 """T1.R3 — Table 1 row 3: BCQ, arbitrary G, d-degenerate, r = 2, gap Õ(d).
 
-Workload: random d-degenerate simple-graph queries for d in {1, 2, 3},
-with the Theorem 4.4 adversarial inputs (TRIBES embedded in forest +
-core).  The bench asserts the row's claim: the measured gap grows at most
-linearly in d (times the polylog allowance) — i.e. gap/d stays bounded.
+A thin wrapper over the registered ``table1-degenerate`` suite of
+:mod:`repro.lab`: random d-degenerate simple-graph BCQs for d in
+{1, 2, 3} on a clique.  Keeps the row's shape assertion — the measured
+gap grows at most linearly in d (times the polylog allowance), i.e.
+gap/d stays bounded.
+
+The Theorem 4.4 adversarial core instance (TRIBES embedded in a cycle's
+core) stays a direct test: it needs the embedding's private structure,
+which is exactly what the declarative lab boundary abstracts away.
 """
 
 import pytest
 
 from repro.core import Planner, format_table, gap_within_budget, table1_row
 from repro.faq import bcq
-from repro.hypergraph import Hypergraph, decompose, simple_graph_degeneracy
+from repro.hypergraph import Hypergraph
+from repro.lab import run_suite, table1_degenerate_suite
 from repro.lowerbounds import (
     core_embedding_capacity,
     embed_tribes_in_core,
     hard_tribes,
 )
 from repro.network import Topology
-from repro.workloads import random_d_degenerate_query, random_instance
-
-N = 96
 
 
-def degenerate_row(d, seed=0):
-    h = random_d_degenerate_query(6, d, seed=seed)
-    factors, domains = random_instance(h, domain_size=N, relation_size=N, seed=seed)
-    query = bcq(h, factors, domains, name=f"d={d}")
-    topo = Topology.clique(4)
-    return table1_row("bcq-degenerate", Planner(query, topo))
+def run_rows():
+    return run_suite(table1_degenerate_suite()).results
 
 
 def test_bcq_degenerate_gap_scales_with_d(benchmark):
-    rows = [degenerate_row(d) for d in (1, 2)]
-    rows.append(benchmark.pedantic(degenerate_row, args=(3,), rounds=1, iterations=1))
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    rows = [r.to_table1_row() for r in results]
     print(format_table(rows))
     for row in rows:
         assert row.correct

@@ -1,53 +1,26 @@
 """T1.R2 — Table 1 row 2: FAQ, *arbitrary* topology, d,r = O(1), gap Õ(1).
 
-The same O(1)-degenerate queries as row 1, now across a spread of
-topologies (clique, ring, grid, barbell, random-regular).  Asserts the
-Õ(1) gap on every topology and the qualitative ordering the formulas
-predict: better-connected topologies (larger MinCut / Steiner packing)
-need fewer rounds for the same instance.
+A thin wrapper over the registered ``table1-arbitrary`` suite of
+:mod:`repro.lab`: the same O(1)-degenerate hard-path query across a
+spread of topologies (line, ring, clique, grid, barbell) with the
+worst-case placement.  Keeps the row's shape assertions: the Õ(1) gap on
+every topology, and the qualitative ordering the formulas predict —
+better-connected topologies need fewer rounds for the same instance.
 """
 
 import pytest
 
-from repro.core import Planner, format_table, gap_within_budget, table1_row, worst_case_assignment
-from repro.faq import bcq
-from repro.hypergraph import Hypergraph
-from repro.lowerbounds import embed_tribes_in_forest, embedding_capacity, hard_tribes
-from repro.network import Topology
-
-N = 128
+from repro.core import format_table, gap_within_budget
+from repro.lab import run_suite, table1_arbitrary_suite
 
 
-def hard_path_instance(n, seed=1):
-    h = Hypergraph.path(4)
-    tribes = hard_tribes(embedding_capacity(h), n, True, seed=seed)
-    emb = embed_tribes_in_forest(h, tribes)
-    return emb, bcq(h, emb.factors, emb.domains, name="path4")
-
-
-TOPOLOGIES = [
-    Topology.line(5),
-    Topology.ring(5),
-    Topology.clique(5),
-    Topology.grid(2, 3),
-    Topology.barbell(3, 1),
-]
-
-
-def run_row(topo):
-    emb, query = hard_path_instance(N)
-    players = topo.nodes[: max(4, min(5, topo.num_nodes))]
-    assignment = worst_case_assignment(
-        emb.s_edges, emb.t_edges, query.hypergraph.edge_names, topo, players
-    )
-    return table1_row("faq-arbitrary", Planner(query, topo, assignment))
+def run_rows():
+    return run_suite(table1_arbitrary_suite()).results
 
 
 def test_faq_arbitrary_topologies(benchmark):
-    rows = [run_row(t) for t in TOPOLOGIES[:-1]]
-    rows.append(
-        benchmark.pedantic(run_row, args=(TOPOLOGIES[-1],), rounds=1, iterations=1)
-    )
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    rows = [r.to_table1_row() for r in results]
     print(format_table(rows))
     for row in rows:
         assert row.correct
@@ -56,12 +29,9 @@ def test_faq_arbitrary_topologies(benchmark):
 
 def test_connectivity_helps(benchmark):
     """The clique needs no more rounds than the line on the same instance."""
-    def run():
-        line = run_row(Topology.line(5))
-        clique = run_row(Topology.clique(5))
-        return line, clique
-
-    line, clique = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    by_topology = {r.spec.topology: r for r in results}
+    line, clique = by_topology["line"], by_topology["clique"]
     print(
         f"line rounds={line.measured_rounds}  clique rounds={clique.measured_rounds}"
     )

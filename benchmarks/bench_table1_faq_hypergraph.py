@@ -1,63 +1,53 @@
 """T1.R4 — Table 1 row 4: FAQ, arbitrary G, arity r hypergraphs, gap Õ(d²r²).
 
-Workload: random bounded-arity acyclic hypergraph FAQ-SS queries (counting
-semiring) on a clique, over an (arity) sweep.  Asserts correctness and
-that the measured gap stays within the d²r² budget; also reports the
-Theorem F.8 strong-independent-set capacity that drives the lower bound.
+A thin wrapper over the registered ``table1-hypergraph`` suite of
+:mod:`repro.lab`: random bounded-arity acyclic hypergraph FAQ-SS queries
+(counting semiring) on a clique over an arity sweep.  Keeps the row's
+assertions — correctness and the measured gap staying within the d²r²
+budget — and the Θ(N) scaling check, now phrased as an inline lab grid.
 """
 
 import pytest
 
-from repro.core import Planner, format_table, gap_within_budget, table1_row
-from repro.faq import FAQQuery
-from repro.lowerbounds import strong_independent_set
-from repro.network import Topology
-from repro.semiring import COUNTING
-from repro.workloads import random_acyclic_hypergraph, random_instance
-
-N = 64
+from repro.core import format_table, gap_within_budget
+from repro.lab import SuiteSpec, expand_grid, run_suite, table1_hypergraph_suite
 
 
-def hypergraph_row(arity, seed=0):
-    h = random_acyclic_hypergraph(5, arity, seed=seed)
-    factors, domains = random_instance(
-        h, domain_size=16, relation_size=N, seed=seed, semiring=COUNTING
-    )
-    query = FAQQuery(
-        h, factors, domains, free_vars=(), semiring=COUNTING, name=f"r={arity}"
-    )
-    topo = Topology.clique(5)
-    row = table1_row("faq-hypergraph", Planner(query, topo))
-    return row, len(strong_independent_set(h))
+def run_rows():
+    return run_suite(table1_hypergraph_suite()).results
 
 
 def test_faq_hypergraph_rows(benchmark):
-    results = [hypergraph_row(r) for r in (2, 3)]
-    results.append(
-        benchmark.pedantic(hypergraph_row, args=(4,), rounds=1, iterations=1)
-    )
-    rows = [r for r, _cap in results]
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    rows = [r.to_table1_row() for r in results]
     print(format_table(rows))
-    for (row, cap) in results:
-        print(f"  arity r={row.r:.0f}: strong-independent-set capacity = {cap}")
+    for row in rows:
         assert row.correct
         assert gap_within_budget(row), (row.r, row.gap, row.gap_budget)
 
 
 def test_faq_hypergraph_n_scaling(benchmark):
     """Rounds scale linearly in N for fixed structure (the Θ(N) shape)."""
-
-    def run(n):
-        h = random_acyclic_hypergraph(4, 3, seed=7)
-        factors, domains = random_instance(
-            h, domain_size=16, relation_size=n, seed=7, semiring=COUNTING
-        )
-        query = FAQQuery(h, factors, domains, semiring=COUNTING)
-        report = Planner(query, Topology.clique(4)).execute()
-        assert report.correct
-        return report.measured_rounds
-
-    small = run(48)
-    large = benchmark.pedantic(run, args=(96,), rounds=1, iterations=1)
+    suite = SuiteSpec(
+        name="hypergraph-n-scaling",
+        scenarios=expand_grid(
+            dict(
+                family="faq-hypergraph",
+                query="acyclic",
+                query_params={"edges": 4, "arity": 3},
+                topology="clique",
+                topology_params={"n": 4},
+                domain_size=16,
+                semiring="counting",
+                seed=7,
+            ),
+            n=[48, 96],
+        ),
+    )
+    results = benchmark.pedantic(
+        lambda: run_suite(suite).results, rounds=1, iterations=1
+    )
+    assert all(r.correct for r in results)
+    small, large = (r.measured_rounds for r in results)
     print(f"rounds: N=48 -> {small}, N=96 -> {large}")
     assert 1.3 <= large / small <= 3.0

@@ -1,9 +1,10 @@
 """T1.R1 — Table 1 row 1: FAQ, line topology, d = O(1), r = O(1), gap Õ(1).
 
-Workload: the hard (TRIBES-embedded) star and path BCQ/FAQ instances on a
-line, with the Lemma 4.4 worst-case assignment across the min cut.  The
-bench measures protocol rounds, compares them to the Theorem 4.1/5.1
-formulas, prints the Table 1 row and asserts:
+A thin wrapper over the registered ``table1-line`` suite of
+:mod:`repro.lab`: the hard (TRIBES-embedded) star BCQ on a line with the
+Lemma 4.4 worst-case assignment across the min cut, over an N-doubling
+sweep.  The lab runner executes the scenarios; this bench keeps the
+row's shape assertions:
 
 * the measured gap stays within a constant (Õ(1)) budget as N doubles;
 * rounds scale linearly in N (the Θ(N) behaviour the row claims).
@@ -11,37 +12,19 @@ formulas, prints the Table 1 row and asserts:
 
 import pytest
 
-from repro.core import Planner, table1_row, format_table, gap_within_budget, worst_case_assignment
-from repro.faq import bcq
-from repro.hypergraph import Hypergraph
-from repro.lowerbounds import embed_tribes_in_forest, embedding_capacity, hard_tribes
-from repro.network import Topology
-
-SIZES = (64, 128, 256)
+from repro.core import format_table, gap_within_budget
+from repro.lab import run_suite, table1_line_suite
 
 
-def hard_star_instance(n, seed=0):
-    h = Hypergraph(
-        {"R": ("A", "B"), "S": ("A", "C"), "T": ("A", "D"), "U": ("A", "E")}
-    )
-    tribes = hard_tribes(embedding_capacity(h), n, True, seed=seed)
-    emb = embed_tribes_in_forest(h, tribes)
-    return emb, bcq(h, emb.factors, emb.domains, name="H1-star")
-
-
-def run_row(n):
-    emb, query = hard_star_instance(n)
-    topo = Topology.line(4)
-    assignment = worst_case_assignment(
-        emb.s_edges, emb.t_edges, query.hypergraph.edge_names, topo, topo.nodes
-    )
-    planner = Planner(query, topo, assignment)
-    return table1_row("faq-line", planner)
+def run_rows():
+    results = run_suite(table1_line_suite()).results
+    assert all(r.gap is not None for r in results)
+    return results
 
 
 def test_faq_line_row(benchmark):
-    rows = [run_row(n) for n in SIZES[:-1]]
-    rows.append(benchmark.pedantic(run_row, args=(SIZES[-1],), rounds=1, iterations=1))
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    rows = [r.to_table1_row() for r in results]
     print(format_table(rows))
     for row in rows:
         assert row.correct
@@ -54,9 +37,7 @@ def test_faq_line_row(benchmark):
 
 def test_faq_line_gap_constant_across_n(benchmark):
     """The Õ(1) claim: the gap does not grow with N."""
-    rows = benchmark.pedantic(
-        lambda: [run_row(n) for n in SIZES], rounds=1, iterations=1
-    )
-    gaps = [row.gap for row in rows]
+    results = benchmark.pedantic(run_rows, rounds=1, iterations=1)
+    gaps = [r.gap for r in results]
     print("gaps over N:", [f"{g:.2f}" for g in gaps])
     assert max(gaps) <= 2.5 * min(gaps)

@@ -18,5 +18,5 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     # NumPy backs the columnar factor backend (repro.semiring.columnar).
-    install_requires=["numpy>=1.22"],
+    install_requires=["numpy>=1.22", "networkx>=2.6"],
 )

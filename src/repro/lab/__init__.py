@@ -1,0 +1,91 @@
+"""repro.lab — the declarative scenario lab.
+
+Describe experiments as hashable :class:`ScenarioSpec` grids, run them
+through the paper's Planner/protocol pipeline in parallel with an
+on-disk result cache, and persist Table-1-style results as JSON bench
+artifacts.  CLI: ``python -m repro.lab run smoke --jobs 2``.
+"""
+
+from .cache import ResultCache
+from .report import (
+    ARTIFACT_FILENAME,
+    artifact_bytes,
+    artifact_payload,
+    format_aggregate_table,
+    format_results_table,
+    render_csv,
+    render_markdown,
+    write_artifact,
+)
+from .results import (
+    FamilyAggregate,
+    ScenarioResult,
+    aggregate,
+    answer_digest,
+    percentile,
+)
+from .runner import (
+    QUERY_FAMILIES,
+    TOPOLOGY_FAMILIES,
+    SuiteRun,
+    build_assignment,
+    build_query,
+    build_topology,
+    execute_scenario,
+    run_suite,
+)
+from .spec import (
+    ASSIGNMENTS,
+    SPEC_VERSION,
+    ScenarioSpec,
+    SuiteSpec,
+    expand_grid,
+)
+from .suites import (
+    DEFAULT_SEED,
+    get_suite,
+    register_suite,
+    suite_names,
+    table1_arbitrary_suite,
+    table1_degenerate_suite,
+    table1_hypergraph_suite,
+    table1_line_suite,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "SuiteSpec",
+    "expand_grid",
+    "ASSIGNMENTS",
+    "SPEC_VERSION",
+    "ScenarioResult",
+    "FamilyAggregate",
+    "aggregate",
+    "answer_digest",
+    "percentile",
+    "ResultCache",
+    "SuiteRun",
+    "run_suite",
+    "execute_scenario",
+    "build_query",
+    "build_topology",
+    "build_assignment",
+    "QUERY_FAMILIES",
+    "TOPOLOGY_FAMILIES",
+    "format_results_table",
+    "format_aggregate_table",
+    "render_markdown",
+    "render_csv",
+    "artifact_payload",
+    "artifact_bytes",
+    "write_artifact",
+    "ARTIFACT_FILENAME",
+    "DEFAULT_SEED",
+    "get_suite",
+    "register_suite",
+    "suite_names",
+    "table1_line_suite",
+    "table1_arbitrary_suite",
+    "table1_degenerate_suite",
+    "table1_hypergraph_suite",
+]

@@ -1,0 +1,139 @@
+"""CLI: ``python -m repro.lab run <suite> [--jobs N] [--out DIR]``.
+
+Commands:
+
+* ``run <suite>`` — execute a registered suite, print the Table-1-style
+  scenario table and family aggregates, and write ``BENCH_lab.json``
+  (plus optional markdown/CSV) under ``--out``.  Exit code 1 when any
+  scenario's protocol answer disagrees with the centralized solver.
+* ``list`` — show the registered suites with sizes and descriptions.
+
+Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
+incremental (only new/changed scenarios execute).  ``--no-cache``
+disables it, ``--force`` ignores cache reads but still persists fresh
+results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .cache import ResultCache
+from .report import (
+    format_aggregate_table,
+    format_results_table,
+    render_csv,
+    render_markdown,
+    write_artifact,
+)
+from .results import aggregate
+from .runner import run_suite
+from .suites import get_suite, suite_names
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lab",
+        description="Declarative scenario lab: run experiment suites "
+        "through the distributed-FAQ pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a registered suite")
+    run_p.add_argument("suite", help=f"one of: {', '.join(suite_names())}")
+    run_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial in-process)",
+    )
+    run_p.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="output directory for BENCH_lab.json (default: cwd)",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: <out>/.lab_cache)",
+    )
+    run_p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run_p.add_argument(
+        "--force", action="store_true",
+        help="ignore cache reads (still writes fresh results)",
+    )
+    run_p.add_argument(
+        "--markdown", action="store_true",
+        help="also write <out>/LAB_<suite>.md",
+    )
+    run_p.add_argument(
+        "--csv", action="store_true", help="also write <out>/LAB_<suite>.csv"
+    )
+    run_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario progress"
+    )
+
+    sub.add_parser("list", help="list registered suites")
+    return parser
+
+
+def _cmd_list() -> int:
+    for name in suite_names():
+        suite = get_suite(name)
+        print(f"{name:<20} {len(suite):>3} scenarios  {suite.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    suite = get_suite(args.suite)
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(args.out, ".lab_cache")
+        cache = ResultCache(cache_dir)
+    log = None if args.quiet else print
+    run = run_suite(
+        suite, jobs=args.jobs, cache=cache, force=args.force, log=log
+    )
+
+    print()
+    print(format_results_table(run.results))
+    print()
+    print(format_aggregate_table(aggregate(run.results)))
+    print()
+    print(
+        f"suite {suite.name!r}: {len(run.results)} scenarios, "
+        f"{run.cache_hits} cached ({run.hit_rate:.0%}), "
+        f"{run.executed} executed on {run.jobs} job(s) "
+        f"in {run.wall_time:.2f}s"
+    )
+
+    artifact = write_artifact(run, args.out)
+    print(f"wrote {artifact}")
+    if args.markdown:
+        path = os.path.join(args.out, f"LAB_{suite.name}.md")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(render_markdown(run))
+        print(f"wrote {path}")
+    if args.csv:
+        path = os.path.join(args.out, f"LAB_{suite.name}.csv")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(render_csv(run.results))
+        print(f"wrote {path}")
+
+    if not run.all_correct:
+        bad = [r.spec.label for r in run.results if not r.correct]
+        print(f"INCORRECT scenarios ({len(bad)}):", *bad, sep="\n  ")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

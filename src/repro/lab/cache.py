@@ -1,0 +1,95 @@
+"""On-disk result cache — content-hash keyed, append-only JSONL.
+
+Layout: ``<cache_dir>/results.jsonl``, one entry per line::
+
+    {"key": "<spec sha256>", "schema": "repro.lab/result.v1", "record": {...}}
+
+Append-only keeps writes atomic-enough for the lab's single-writer model
+(workers compute, only the coordinating process writes).  On load, the
+*last* entry per key wins, so ``--force`` re-runs simply append fresher
+records.  Unreadable lines and records with a foreign schema are skipped
+— a stale or corrupt cache degrades to cache misses, never to wrong
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from .results import RESULT_SCHEMA
+
+CACHE_FILENAME = "results.jsonl"
+
+
+class ResultCache:
+    """A directory-backed scenario-result cache.
+
+    Args:
+        cache_dir: Directory holding ``results.jsonl`` (created lazily on
+            first write).
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        self.path = os.path.join(cache_dir, CACHE_FILENAME)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._skipped = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self._skipped += 1
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("schema") != RESULT_SCHEMA
+                    or "key" not in entry
+                    or "record" not in entry
+                ):
+                    self._skipped += 1
+                    continue
+                self._entries[entry["key"]] = entry["record"]
+
+    # ------------------------------------------------------------------
+    # Mapping-ish surface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached deterministic record for ``key``, or None."""
+        return self._entries.get(key)
+
+    def put(self, key: str, record: Mapping[str, Any]) -> None:
+        """Persist ``record`` under ``key`` (append + in-memory update)."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        entry = {"key": key, "schema": RESULT_SCHEMA, "record": dict(record)}
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        self._entries[key] = dict(record)
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        return iter(self._entries.items())
+
+    @property
+    def skipped_lines(self) -> int:
+        """Lines dropped on load (corruption / schema drift)."""
+        return self._skipped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultCache {self.path!r} entries={len(self._entries)}>"

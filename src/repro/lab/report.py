@@ -1,0 +1,151 @@
+"""Rendering and artifacts: Table-1-style tables, markdown/CSV, BENCH JSON.
+
+The scenario table reuses :func:`repro.core.analysis.format_table`
+verbatim — the lab's results *are* Table 1 rows, just persisted.  The
+artifact (:data:`ARTIFACT_FILENAME`, ``BENCH_lab.json``) contains only
+the deterministic payload (scenario records in suite order + family
+aggregates), serialized with sorted keys — which is what makes a
+parallel run byte-identical to a serial one, and lets later PRs diff two
+artifacts for perf/correctness regressions.  Volatile numbers (wall
+times, cache hit rates) go to stdout, never into the artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Any, Dict, List, Sequence
+
+from ..core.analysis import format_table
+from .results import FamilyAggregate, ScenarioResult, aggregate
+from .runner import SuiteRun
+
+#: The bench artifact the CI job uploads.
+ARTIFACT_FILENAME = "BENCH_lab.json"
+
+#: Artifact schema id; bump on breaking payload changes.
+ARTIFACT_SCHEMA = "repro.lab/bench.v1"
+
+
+def format_results_table(results: Sequence[ScenarioResult]) -> str:
+    """The paper's Table 1 layout over lab results."""
+    return format_table([r.to_table1_row() for r in results])
+
+
+def format_aggregate_table(aggregates: Sequence[FamilyAggregate]) -> str:
+    """Per-family summary block (median/p90/max rounds and gap)."""
+    header = (
+        f"{'family':<18} {'runs':>4} {'ok':>4} {'rounds p50':>10} "
+        f"{'p90':>10} {'max':>10} {'gap p50':>8} {'p90':>8} {'max':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for agg in aggregates:
+        gap_fmt = lambda g: f"{g:>8.2f}" if g is not None else f"{'-':>8}"
+        lines.append(
+            f"{agg.family:<18} {agg.scenarios:>4} {agg.correct:>4} "
+            f"{agg.rounds_median:>10.1f} {agg.rounds_p90:>10.1f} "
+            f"{agg.rounds_max:>10} {gap_fmt(agg.gap_median)} "
+            f"{gap_fmt(agg.gap_p90)} {gap_fmt(agg.gap_max)}"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(run: SuiteRun) -> str:
+    """A self-contained markdown report for a suite run."""
+    aggregates = aggregate(run.results)
+    lines = [
+        f"# repro.lab suite `{run.suite.name}`",
+        "",
+        f"{len(run.results)} scenarios across {len(run.suite.families)} "
+        f"families; {run.cache_hits} cached, {run.executed} executed "
+        f"on {run.jobs} job(s) in {run.wall_time:.2f}s.",
+        "",
+        "| scenario | topology | N | rounds | upper | lower | gap | budget | ok |",
+        "|---|---|---:|---:|---:|---:|---:|---:|:-:|",
+    ]
+    for r in run.results:
+        gap = f"{r.gap:.2f}" if r.gap is not None else "-"
+        lines.append(
+            f"| `{r.query_name}` | {r.topology_name} | {r.rows} "
+            f"| {r.measured_rounds} | {r.upper_formula:.1f} "
+            f"| {r.lower_formula:.1f} | {gap} | {r.gap_budget:.1f} "
+            f"| {'ok' if r.correct else 'FAIL'} |"
+        )
+    lines += [
+        "",
+        "| family | runs | ok | rounds p50 | rounds p90 | rounds max "
+        "| gap p50 | gap p90 | gap max |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for agg in aggregates:
+        fmt = lambda g: f"{g:.2f}" if g is not None else "-"
+        lines.append(
+            f"| {agg.family} | {agg.scenarios} | {agg.correct} "
+            f"| {agg.rounds_median:.1f} | {agg.rounds_p90:.1f} "
+            f"| {agg.rounds_max} | {fmt(agg.gap_median)} "
+            f"| {fmt(agg.gap_p90)} | {fmt(agg.gap_max)} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(results: Sequence[ScenarioResult]) -> str:
+    """Flat per-scenario CSV (one row per scenario, suite order)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        [
+            "family", "query", "topology", "backend", "assignment",
+            "semiring", "n", "seed", "players", "d", "r", "rows",
+            "measured_rounds", "upper_formula", "lower_formula",
+            "gap", "gap_budget", "correct", "spec_hash",
+        ]
+    )
+    for r in results:
+        writer.writerow(
+            [
+                r.spec.family, r.query_name, r.topology_name,
+                r.spec.backend or "native", r.spec.assignment,
+                r.spec.semiring, r.spec.n, r.spec.seed, r.players,
+                r.d, r.r, r.rows, r.measured_rounds, r.upper_formula,
+                r.lower_formula, "" if r.gap is None else r.gap,
+                r.gap_budget, int(r.correct), r.spec_hash,
+            ]
+        )
+    return buf.getvalue()
+
+
+def artifact_payload(run: SuiteRun) -> Dict[str, Any]:
+    """The deterministic BENCH payload for a suite run.
+
+    Contains only reproducible data: identical for serial and parallel
+    runs, for fresh and fully-cached runs.
+    """
+    aggregates = aggregate(run.results)
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "suite": run.suite.name,
+        "description": run.suite.description,
+        "families": list(run.suite.families),
+        "scenario_count": len(run.results),
+        "all_correct": run.all_correct,
+        "scenarios": [r.deterministic_record() for r in run.results],
+        "aggregates": [a.to_record() for a in aggregates],
+    }
+
+
+def artifact_bytes(run: SuiteRun) -> bytes:
+    """Canonical serialization (sorted keys, fixed separators, UTF-8)."""
+    payload = artifact_payload(run)
+    text = json.dumps(payload, sort_keys=True, indent=2, allow_nan=False)
+    return (text + "\n").encode("utf-8")
+
+
+def write_artifact(run: SuiteRun, out_dir: str) -> str:
+    """Write ``BENCH_lab.json`` under ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, ARTIFACT_FILENAME)
+    with open(path, "wb") as fh:
+        fh.write(artifact_bytes(run))
+    return path

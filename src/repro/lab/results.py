@@ -1,0 +1,256 @@
+"""Typed result records and deterministic aggregation.
+
+A :class:`ScenarioResult` is everything one scenario execution produced:
+the spec, the measured protocol rounds, the Theorem 4.1/5.2 formula
+values, the Table 1 gap, a digest of the answer (so backend-parity suites
+can assert byte-identical answers without shipping factors around), and
+bookkeeping (wall time, cache provenance).
+
+The record splits into a **deterministic** part — identical whether the
+scenario ran serially, in a worker process, or came from the cache — and
+a volatile part (``wall_time``, ``cached``) that never enters artifacts
+or cache-equality checks.
+
+:func:`aggregate` folds results into per-family summary rows
+(median/p90/max of rounds and gap) with a pure-Python percentile, so
+aggregates are bit-stable across NumPy versions and process counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..core.analysis import Table1Row
+from .spec import ScenarioSpec
+
+#: Bump together with cache-incompatible result changes.
+RESULT_SCHEMA = "repro.lab/result.v1"
+
+
+@dataclass
+class ScenarioResult:
+    """One executed scenario.
+
+    Attributes:
+        spec: The scenario that produced this result.
+        spec_hash: ``spec.content_hash()`` (the cache key).
+        topology_name: The materialized topology's display name.
+        query_name: The materialized query's display name.
+        players: Number of players actually holding relations.
+        d: Degeneracy component of the bound formulas.
+        r: Arity component of the bound formulas.
+        rows: Largest input listing size N of the materialized instance.
+        measured_rounds: Simulator rounds of the protocol run.
+        upper_formula: Theorem 4.1/5.2 upper-bound value.
+        lower_formula: Lower-bound value.
+        gap: measured / lower, or None when the lower bound is 0
+            (co-located runs) — kept None so artifacts stay strict JSON.
+        gap_budget: The Table 1 gap-column budget for this family.
+        correct: Protocol answer matched the centralized solver.
+        answer_digest: sha256 of the canonicalized answer factor.
+        wall_time: Seconds spent executing (volatile; excluded from the
+            deterministic record).
+        cached: True when served from the result cache (volatile).
+    """
+
+    spec: ScenarioSpec
+    spec_hash: str
+    topology_name: str
+    query_name: str
+    players: int
+    d: float
+    r: float
+    rows: int
+    measured_rounds: int
+    upper_formula: float
+    lower_formula: float
+    gap: Optional[float]
+    gap_budget: float
+    correct: bool
+    answer_digest: str
+    wall_time: float = 0.0
+    cached: bool = False
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def deterministic_record(self) -> Dict[str, Any]:
+        """The reproducible part — what artifacts and the cache store."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "spec": self.spec.to_json_dict(),
+            "spec_hash": self.spec_hash,
+            "label": self.spec.label,
+            "family": self.spec.family,
+            "topology_name": self.topology_name,
+            "query_name": self.query_name,
+            "players": self.players,
+            "d": self.d,
+            "r": self.r,
+            "rows": self.rows,
+            "measured_rounds": self.measured_rounds,
+            "upper_formula": self.upper_formula,
+            "lower_formula": self.lower_formula,
+            "gap": self.gap,
+            "gap_budget": self.gap_budget,
+            "correct": self.correct,
+            "answer_digest": self.answer_digest,
+        }
+
+    @classmethod
+    def from_record(
+        cls, record: Mapping[str, Any], cached: bool = False
+    ) -> "ScenarioResult":
+        """Rebuild a result from a deterministic record (e.g. the cache)."""
+        return cls(
+            spec=ScenarioSpec.from_json_dict(record["spec"]),
+            spec_hash=record["spec_hash"],
+            topology_name=record["topology_name"],
+            query_name=record["query_name"],
+            players=record["players"],
+            d=record["d"],
+            r=record["r"],
+            rows=record["rows"],
+            measured_rounds=record["measured_rounds"],
+            upper_formula=record["upper_formula"],
+            lower_formula=record["lower_formula"],
+            gap=record["gap"],
+            gap_budget=record["gap_budget"],
+            correct=record["correct"],
+            answer_digest=record["answer_digest"],
+            wall_time=0.0,
+            cached=cached,
+        )
+
+    def to_table1_row(self) -> Table1Row:
+        """Render as a :class:`~repro.core.analysis.Table1Row` so the
+        lab reuses ``format_table``/``gap_within_budget`` unchanged.
+
+        An undefined gap (lower bound 0, e.g. co-located runs) maps to
+        ``inf`` so ``gap_within_budget`` fails loudly instead of passing
+        vacuously — don't assert budgets on such scenarios."""
+        return Table1Row(
+            label=self.spec.family,
+            query=self.query_name,
+            topology=self.topology_name,
+            d=self.d,
+            r=self.r,
+            n=self.rows,
+            measured_rounds=self.measured_rounds,
+            upper_formula=self.upper_formula,
+            lower_formula=self.lower_formula,
+            gap=self.gap if self.gap is not None else float("inf"),
+            gap_budget=self.gap_budget,
+            correct=self.correct,
+        )
+
+
+def answer_digest(schema: Sequence[str], rows: Mapping) -> str:
+    """A stable content digest of an answer factor.
+
+    Canonicalizes to sorted ``[key..., value]`` rows (repr-encoding any
+    non-JSON value) so two backends agree iff their answers are
+    value-identical.
+    """
+    canon = {
+        "schema": list(schema),
+        "rows": sorted(
+            [[repr(k) for k in key] + [repr(value)] for key, value in rows.items()]
+        ),
+    }
+    payload = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (NumPy's default), pure Python.
+
+    Deterministic across platforms — aggregation must be byte-stable for
+    the serial-vs-parallel equality guarantee.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass
+class FamilyAggregate:
+    """Per-family summary row.
+
+    Attributes:
+        family: Scenario-family label.
+        scenarios: Number of scenarios aggregated.
+        correct: How many were correct.
+        rounds_median / rounds_p90 / rounds_max: Round statistics.
+        gap_median / gap_p90 / gap_max: Gap statistics over scenarios
+            with a finite gap (None when no scenario had one).
+        gap_budget_max: The largest budget among the family's scenarios.
+    """
+
+    family: str
+    scenarios: int
+    correct: int
+    rounds_median: float
+    rounds_p90: float
+    rounds_max: int
+    gap_median: Optional[float]
+    gap_p90: Optional[float]
+    gap_max: Optional[float]
+    gap_budget_max: float
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "scenarios": self.scenarios,
+            "correct": self.correct,
+            "rounds_median": self.rounds_median,
+            "rounds_p90": self.rounds_p90,
+            "rounds_max": self.rounds_max,
+            "gap_median": self.gap_median,
+            "gap_p90": self.gap_p90,
+            "gap_max": self.gap_max,
+            "gap_budget_max": self.gap_budget_max,
+        }
+
+
+def aggregate(results: Sequence[ScenarioResult]) -> List[FamilyAggregate]:
+    """Fold results into per-family rows, in first-appearance order."""
+    by_family: Dict[str, List[ScenarioResult]] = {}
+    for result in results:
+        by_family.setdefault(result.spec.family, []).append(result)
+    out = []
+    for family, group in by_family.items():
+        rounds = [float(r.measured_rounds) for r in group]
+        gaps = [r.gap for r in group if r.gap is not None]
+        out.append(
+            FamilyAggregate(
+                family=family,
+                scenarios=len(group),
+                correct=sum(1 for r in group if r.correct),
+                rounds_median=percentile(rounds, 50.0),
+                rounds_p90=percentile(rounds, 90.0),
+                rounds_max=max(r.measured_rounds for r in group),
+                gap_median=percentile(gaps, 50.0) if gaps else None,
+                gap_p90=percentile(gaps, 90.0) if gaps else None,
+                gap_max=max(gaps) if gaps else None,
+                gap_budget_max=max(r.gap_budget for r in group),
+            )
+        )
+    return out

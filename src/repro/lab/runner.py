@@ -1,0 +1,426 @@
+"""Scenario materialization + the parallel, cache-aware suite runner.
+
+The runner is the only place a :class:`~repro.lab.spec.ScenarioSpec`
+becomes live objects: a query family builder produces the
+:class:`~repro.faq.query.FAQQuery` (threading explicit child seeds from
+:func:`repro.workloads.spawn_seeds` through every generator call site), a
+topology family builder produces the :class:`~repro.network.Topology`,
+and the assignment policy places relations on players.  Execution then
+goes through the repository's headline API — ``Planner.execute`` on the
+round simulator — exactly like the hand-written benchmarks did.
+
+:func:`run_suite` executes a :class:`~repro.lab.spec.SuiteSpec`:
+
+* scenarios whose content hash is in the :class:`~repro.lab.cache
+  .ResultCache` are served from disk (incremental re-runs);
+* the rest run serially (``jobs=1``) or on a ``ProcessPoolExecutor``
+  (``jobs>1``) — workers only *compute*; the coordinating process does
+  all cache writes, so the JSONL stays single-writer;
+* results are assembled in **suite order** regardless of completion
+  order, which is what makes ``--jobs N`` byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.planner import Planner, assign_single_player, worst_case_assignment
+from ..faq import FAQQuery, bcq
+from ..hypergraph import Hypergraph
+from ..lowerbounds import embed_tribes_in_forest, embedding_capacity, hard_tribes
+from ..lowerbounds.bounds import table1_gap_budget
+from ..network.topology import Topology
+from ..semiring import get_semiring
+from ..workloads import (
+    random_acyclic_hypergraph,
+    random_d_degenerate_query,
+    random_instance,
+    random_tree_query,
+    spawn_seeds,
+)
+from .cache import ResultCache
+from .results import ScenarioResult, answer_digest
+from .spec import ScenarioSpec, SuiteSpec
+
+#: Semirings whose random instances carry float annotations.
+_WEIGHTED_SEMIRINGS = frozenset({"real", "min-plus", "max-plus", "max-times"})
+
+
+@dataclass
+class BuiltQuery:
+    """A materialized query plus the embedding metadata policies need.
+
+    ``s_edges``/``t_edges`` are the TRIBES sides of the hard instances —
+    present only for the ``hard-*`` families, and required by the
+    ``worst-case`` assignment policy.
+    """
+
+    query: FAQQuery
+    s_edges: Tuple[str, ...] = ()
+    t_edges: Tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Query families
+# ---------------------------------------------------------------------------
+
+
+def _embedded_tribes_query(h: Hypergraph, spec: ScenarioSpec, name: str) -> BuiltQuery:
+    """The Lemma 4.4 hard instance: TRIBES embedded in a forest query."""
+    (tribes_seed,) = spawn_seeds(spec.seed, 1)
+    value = bool(spec.param("value", True))
+    tribes = hard_tribes(embedding_capacity(h), spec.n, value, seed=tribes_seed)
+    emb = embed_tribes_in_forest(h, tribes)
+    query = bcq(h, emb.factors, emb.domains, name=name)
+    return BuiltQuery(query, s_edges=tuple(emb.s_edges), t_edges=tuple(emb.t_edges))
+
+
+def _build_hard_star(spec: ScenarioSpec) -> BuiltQuery:
+    arms = int(spec.param("arms", 4))
+    return _embedded_tribes_query(
+        Hypergraph.star(arms), spec, name=f"hard-star({arms})"
+    )
+
+
+def _build_hard_path(spec: ScenarioSpec) -> BuiltQuery:
+    length = int(spec.param("length", 4))
+    return _embedded_tribes_query(
+        Hypergraph.path(length), spec, name=f"hard-path({length})"
+    )
+
+
+def _random_instance_query(
+    h: Hypergraph, spec: ScenarioSpec, name: str, instance_seed: int
+) -> BuiltQuery:
+    """Random factors over ``h`` in the spec's semiring, free_vars = ().
+
+    ``instance_seed`` must be a *distinct* child of the master seed from
+    the structure seed (``spawn_seeds`` prefix stability makes
+    re-deriving ``spawn_seeds(spec.seed, 1)[0]`` here collide with the
+    callers' structure stream).
+    """
+    semiring = get_semiring(spec.semiring)
+    factors, domains = random_instance(
+        h,
+        domain_size=spec.domain_size,
+        relation_size=spec.n,
+        seed=instance_seed,
+        semiring=semiring,
+        weighted=spec.semiring in _WEIGHTED_SEMIRINGS,
+    )
+    if spec.semiring == "boolean":
+        return BuiltQuery(bcq(h, factors, domains, name=name))
+    return BuiltQuery(
+        FAQQuery(
+            hypergraph=h,
+            factors=factors,
+            domains=domains,
+            free_vars=(),
+            semiring=semiring,
+            name=name,
+        )
+    )
+
+
+def _build_degenerate(spec: ScenarioSpec) -> BuiltQuery:
+    vertices = int(spec.param("vertices", 6))
+    d = int(spec.param("d", 2))
+    structure_seed, instance_seed = spawn_seeds(spec.seed, 2)
+    h = random_d_degenerate_query(vertices, d, seed=structure_seed)
+    return _random_instance_query(
+        h, spec, name=f"degen(v{vertices},d{d})", instance_seed=instance_seed
+    )
+
+
+def _build_acyclic(spec: ScenarioSpec) -> BuiltQuery:
+    edges = int(spec.param("edges", 5))
+    arity = int(spec.param("arity", 3))
+    structure_seed, instance_seed = spawn_seeds(spec.seed, 2)
+    h = random_acyclic_hypergraph(edges, arity, seed=structure_seed)
+    return _random_instance_query(
+        h, spec, name=f"acyclic(e{edges},r{arity})", instance_seed=instance_seed
+    )
+
+
+def _build_tree(spec: ScenarioSpec) -> BuiltQuery:
+    edges = int(spec.param("edges", 5))
+    structure_seed, instance_seed = spawn_seeds(spec.seed, 2)
+    h = random_tree_query(edges, seed=structure_seed)
+    return _random_instance_query(
+        h, spec, name=f"tree(e{edges})", instance_seed=instance_seed
+    )
+
+
+QUERY_FAMILIES: Dict[str, Callable[[ScenarioSpec], BuiltQuery]] = {
+    "hard-star": _build_hard_star,
+    "hard-path": _build_hard_path,
+    "degenerate": _build_degenerate,
+    "acyclic": _build_acyclic,
+    "tree": _build_tree,
+}
+
+
+# ---------------------------------------------------------------------------
+# Topology families
+# ---------------------------------------------------------------------------
+
+TOPOLOGY_FAMILIES: Dict[str, Callable[..., Topology]] = {
+    "line": lambda n: Topology.line(n),
+    "ring": lambda n: Topology.ring(n),
+    "clique": lambda n: Topology.clique(n),
+    "star": lambda leaves: Topology.star(leaves),
+    "grid": lambda rows, cols: Topology.grid(rows, cols),
+    "tree": lambda branching, depth: Topology.balanced_tree(branching, depth),
+    "barbell": lambda clique_size, path_len: Topology.barbell(clique_size, path_len),
+    "hypercube": lambda dim: Topology.hypercube(dim),
+    "expander": lambda n, degree, seed=0: Topology.expander(n, degree, seed=seed),
+    "regular": lambda n, degree, seed=0: Topology.random_regular(degree, n, seed=seed),
+    "two-party": lambda: Topology.two_party(),
+}
+
+
+def build_query(spec: ScenarioSpec) -> BuiltQuery:
+    """Materialize the spec's query family."""
+    try:
+        builder = QUERY_FAMILIES[spec.query]
+    except KeyError:
+        known = ", ".join(sorted(QUERY_FAMILIES))
+        raise ValueError(f"unknown query family {spec.query!r}; known: {known}")
+    return builder(spec)
+
+
+def build_topology(spec: ScenarioSpec) -> Topology:
+    """Materialize the spec's topology family."""
+    try:
+        builder = TOPOLOGY_FAMILIES[spec.topology]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+        raise ValueError(f"unknown topology family {spec.topology!r}; known: {known}")
+    try:
+        return builder(**dict(spec.topology_params))
+    except TypeError as exc:
+        raise ValueError(
+            f"bad topology params for {spec.topology!r}: "
+            f"{dict(spec.topology_params)} ({exc})"
+        ) from exc
+
+
+def build_assignment(
+    spec: ScenarioSpec, built: BuiltQuery, topology: Topology
+) -> Optional[Dict[str, str]]:
+    """Materialize the assignment policy (None = Planner's round-robin)."""
+    if spec.assignment == "round-robin":
+        return None
+    if spec.assignment == "single":
+        return assign_single_player(built.query, topology.nodes[0])
+    if spec.assignment == "worst-case":
+        if not built.s_edges or not built.t_edges:
+            raise ValueError(
+                f"assignment 'worst-case' needs a hard-* query family with "
+                f"TRIBES sides; {spec.query!r} provides none"
+            )
+        return worst_case_assignment(
+            built.s_edges,
+            built.t_edges,
+            built.query.hypergraph.edge_names,
+            topology,
+            topology.nodes,
+        )
+    raise ValueError(f"unknown assignment policy {spec.assignment!r}")
+
+
+def _gap_budget(family: str, d: float, r: float) -> float:
+    """The Table 1 budget when ``family`` is a paper row; otherwise the
+    most generous structural budget (d²r²) so lab-only families still get
+    a meaningful shape check."""
+    try:
+        return table1_gap_budget(family, d, r)
+    except ValueError:
+        return max(1.0, d) * max(1.0, d) * max(1.0, r) * max(1.0, r)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario end-to-end (deterministically).
+
+    This is the worker entry point: it must stay module-level and take
+    only the picklable spec.
+    """
+    start = time.perf_counter()
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    planner = Planner(
+        built.query, topology, assignment=assignment, backend=spec.backend
+    )
+    report = planner.execute(max_rounds=spec.max_rounds)
+    predicted = report.predicted
+    d = float(predicted.components.get("d", 1.0))
+    r = float(predicted.components.get("r", 2.0))
+    lower = float(predicted.lower_rounds)
+    gap = (report.measured_rounds / lower) if lower > 0 else None
+    return ScenarioResult(
+        spec=spec,
+        spec_hash=spec.content_hash(),
+        topology_name=topology.name,
+        query_name=planner.query.name or spec.query,
+        players=len(planner.players),
+        d=d,
+        r=r,
+        rows=planner.query.max_factor_size,
+        measured_rounds=report.measured_rounds,
+        upper_formula=float(predicted.upper_rounds),
+        lower_formula=lower,
+        gap=gap,
+        gap_budget=_gap_budget(spec.family, d, r),
+        correct=bool(report.correct),
+        answer_digest=answer_digest(report.answer.schema, report.answer.rows),
+        wall_time=time.perf_counter() - start,
+        cached=False,
+    )
+
+
+def _worker_init(path: List[str]) -> None:
+    """Propagate the parent's import path to spawn-style workers."""
+    for entry in path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+def _execute_with_context(spec: ScenarioSpec) -> ScenarioResult:
+    try:
+        return execute_scenario(spec)
+    except Exception as exc:
+        raise RuntimeError(f"scenario {spec.label} failed: {exc}") from exc
+
+
+@dataclass
+class SuiteRun:
+    """One :func:`run_suite` invocation.
+
+    Attributes:
+        suite: The executed suite.
+        results: One result per suite scenario, **in suite order**.
+        cache_hits: Scenario *occurrences* served from the on-disk cache
+            (duplicates of a cached scenario each count).
+        executed: Unique scenarios executed fresh this run.
+        jobs: Worker processes used (1 = in-process serial).
+        wall_time: Total coordinator wall time in seconds.
+    """
+
+    suite: SuiteSpec
+    results: List[ScenarioResult]
+    cache_hits: int
+    executed: int
+    jobs: int
+    wall_time: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of suite scenarios served from the cache."""
+        return self.cache_hits / len(self.results) if self.results else 0.0
+
+    @property
+    def all_correct(self) -> bool:
+        return all(r.correct for r in self.results)
+
+
+def run_suite(
+    suite: SuiteSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SuiteRun:
+    """Execute a suite: cache lookups, then (parallel) fresh runs.
+
+    Args:
+        suite: What to run.
+        jobs: ``1`` runs in-process; ``>1`` uses a ProcessPoolExecutor.
+        cache: Optional result cache; hits skip execution, fresh results
+            are persisted.  ``None`` disables caching entirely.
+        force: Ignore cache *reads* (still writes), re-running everything.
+        log: Optional progress sink (e.g. ``print``).
+
+    Returns:
+        A :class:`SuiteRun` whose ``results`` follow suite order exactly,
+        independent of ``jobs`` and of worker completion order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    emit = log or (lambda message: None)
+    start = time.perf_counter()
+
+    hashes = [spec.content_hash() for spec in suite.scenarios]
+    by_hash: Dict[str, ScenarioResult] = {}
+    pending: List[ScenarioSpec] = []
+    pending_hashes: List[str] = []
+    seen = set()
+    from_cache = set()
+    for spec, key in zip(suite.scenarios, hashes):
+        if key in seen:
+            continue
+        seen.add(key)
+        record = None if (force or cache is None) else cache.get(key)
+        if record is not None:
+            by_hash[key] = ScenarioResult.from_record(record, cached=True)
+            from_cache.add(key)
+            emit(f"[cache] {spec.label}")
+        else:
+            pending.append(spec)
+            pending_hashes.append(key)
+    # Count *occurrences* (not unique specs) so a fully-cached suite with
+    # duplicate scenarios still reports a 100% hit rate.
+    cache_hits = sum(1 for key in hashes if key in from_cache)
+
+    executed = len(pending)
+
+    def finish(spec: ScenarioSpec, key: str, result: ScenarioResult) -> None:
+        # Persist every completed result immediately so one failing
+        # scenario never discards its siblings' finished work.
+        by_hash[key] = result
+        if cache is not None:
+            cache.put(key, result.deterministic_record())
+        emit(f"[done ] {spec.label}: rounds={result.measured_rounds}")
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for spec, key in zip(pending, pending_hashes):
+                emit(f"[run  ] {spec.label}")
+                finish(spec, key, _execute_with_context(spec))
+        else:
+            emit(f"[pool ] {len(pending)} scenarios on {jobs} workers")
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_worker_init, initargs=(list(sys.path),)
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_with_context, spec): (spec, key)
+                    for spec, key in zip(pending, pending_hashes)
+                }
+                failure: Optional[BaseException] = None
+                for future in as_completed(futures):
+                    spec, key = futures[future]
+                    try:
+                        finish(spec, key, future.result())
+                    except BaseException as exc:  # noqa: BLE001 — re-raised
+                        failure = failure or exc
+                if failure is not None:
+                    raise failure
+
+    results = [by_hash[key] for key in hashes]
+    return SuiteRun(
+        suite=suite,
+        results=results,
+        cache_hits=cache_hits,
+        executed=executed,
+        jobs=jobs,
+        wall_time=time.perf_counter() - start,
+    )

@@ -196,6 +196,34 @@ class Topology:
         raise RuntimeError("could not sample a connected regular graph")
 
     @classmethod
+    def hypercube(cls, dim: int, name: str = "hypercube") -> "Topology":
+        """The ``dim``-dimensional hypercube: 2^dim players, edges between
+        ids differing in exactly one bit (a classic low-diameter,
+        high-min-cut datacenter/MPC topology)."""
+        if dim < 1:
+            raise ValueError("hypercube dimension must be >= 1")
+        n = 1 << dim
+        return cls(
+            (
+                (cls.player(i), cls.player(i | (1 << b)))
+                for i in range(n)
+                for b in range(dim)
+                if not i & (1 << b)
+            ),
+            name=f"{name}(d{dim})",
+        )
+
+    @classmethod
+    def expander(
+        cls, n: int, degree: int, seed: int = 0, name: str = "expander"
+    ) -> "Topology":
+        """A seeded expander-like topology: a connected random ``degree``-
+        regular graph.  A deterministic wrapper over
+        :meth:`random_regular` with the argument order and naming the
+        experiment lab uses (``n`` first, like every other builder)."""
+        return cls.random_regular(degree, n, seed=seed, name=name)
+
+    @classmethod
     def barbell(cls, clique_size: int, path_len: int, name: str = "barbell") -> "Topology":
         """Two cliques joined by a path — a natural small-min-cut topology."""
         if clique_size < 2:

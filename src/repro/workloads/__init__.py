@@ -1,8 +1,10 @@
 """Workload generators for tests and benchmarks."""
 
 from .generators import (
+    SEED_SPACE,
     domains_for,
     make_rng,
+    spawn_seeds,
     matching_relation,
     random_acyclic_hypergraph,
     random_d_degenerate_query,
@@ -14,7 +16,9 @@ from .generators import (
 )
 
 __all__ = [
+    "SEED_SPACE",
     "make_rng",
+    "spawn_seeds",
     "random_tree_query",
     "random_forest_query",
     "random_d_degenerate_query",

@@ -9,15 +9,59 @@ the MPC comparison (Appendix A.1.2).
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..hypergraph import Hypergraph
 from ..semiring import BOOLEAN, Factor, Semiring
 
+#: Seed space for derived child seeds.  Kept at 2**30 so seeds survive a
+#: JSON round-trip on every platform and stay comfortably inside the
+#: int range of ``random.Random`` seeding.
+SEED_SPACE = 2**30
+
 
 def make_rng(seed: Optional[int]) -> random.Random:
-    """A deterministic RNG (seed 0 when None) so benches are reproducible."""
-    return random.Random(0 if seed is None else seed)
+    """A deterministic RNG for a generator call.
+
+    ``None`` silently aliases every seedless call site to the *same*
+    stream (seed 0), which makes experiments irreproducible as soon as
+    two call sites race or reorder.  The experiment lab
+    (:mod:`repro.lab`) therefore always passes explicit seeds (see
+    :func:`spawn_seeds`); seedless calls keep the legacy seed-0 behaviour
+    for backward compatibility but now warn.
+    """
+    if seed is None:
+        # stacklevel=3: blame the seedless caller of the generator, not
+        # the generator's internal make_rng call.
+        warnings.warn(
+            "make_rng(None) aliases to seed 0; pass an explicit seed "
+            "(e.g. from spawn_seeds) for reproducible experiments",
+            stacklevel=3,
+        )
+        return random.Random(0)
+    return random.Random(seed)
+
+
+def spawn_seeds(master_seed: int, n: int) -> Tuple[int, ...]:
+    """Derive ``n`` independent child seeds from one master seed.
+
+    The experiment boundary's answer to seedless nondeterminism: a
+    scenario carries one explicit ``master_seed`` and every generator
+    call site (query structure, per-relation tuples, topology sampling)
+    gets its own deterministic child seed, so adding or reordering call
+    sites never perturbs sibling streams.
+
+    Raises:
+        ValueError: if ``master_seed`` is None (the whole point) or
+            ``n`` is negative.
+    """
+    if master_seed is None:
+        raise ValueError("master_seed must be an explicit int, not None")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = random.Random(master_seed)
+    return tuple(rng.randrange(SEED_SPACE) for _ in range(n))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,78 @@
+"""Tests for core/analysis.py — Table 1 rendering and gap budgeting."""
+
+import pytest
+
+from repro.core import (
+    Planner,
+    Table1Row,
+    format_table,
+    gap_within_budget,
+    table1_row,
+)
+from repro.faq import bcq
+from repro.hypergraph import Hypergraph
+from repro.network import Topology
+from repro.semiring import Factor
+
+
+def _tiny_planner():
+    h = Hypergraph({"R": ("A", "B"), "S": ("B", "C")})
+    domains = {"A": (0, 1), "B": (0, 1), "C": (0, 1)}
+    factors = {
+        "R": Factor.from_tuples(("A", "B"), {(0, 0), (1, 1)}, name="R"),
+        "S": Factor.from_tuples(("B", "C"), {(0, 1), (1, 0)}, name="S"),
+    }
+    query = bcq(h, factors, domains, name="tiny")
+    return Planner(query, Topology.line(3))
+
+
+def test_table1_row_fields_from_execution():
+    row = table1_row("faq-line", _tiny_planner())
+    assert isinstance(row, Table1Row)
+    assert row.label == "faq-line"
+    assert row.query == "tiny"
+    assert row.topology == "line(3)"
+    assert row.correct
+    assert row.measured_rounds >= 0
+    assert row.n == 2  # max input listing size
+    assert row.gap_budget == 1.0  # the O~(1) row
+    assert row.upper_formula >= row.lower_formula >= 0.0
+
+
+def test_format_table_layout():
+    rows = [table1_row("faq-line", _tiny_planner())]
+    text = format_table(rows)
+    lines = text.splitlines()
+    # Header, separator, one row.
+    assert len(lines) == 3
+    assert lines[0].split()[:3] == ["row", "query", "G"]
+    assert set(lines[1]) == {"-"}
+    assert "faq-line" in lines[2]
+    assert lines[2].rstrip().endswith("+")  # the correctness marker
+
+
+def test_format_table_marks_incorrect_rows():
+    row = Table1Row(
+        label="bcq-degenerate", query="q", topology="g", d=2.0, r=2.0,
+        n=10, measured_rounds=100, upper_formula=200.0, lower_formula=10.0,
+        gap=10.0, gap_budget=2.0, correct=False,
+    )
+    assert format_table([row]).splitlines()[-1].rstrip().endswith("X")
+
+
+def test_gap_within_budget_boundaries():
+    def row_with(gap, budget):
+        return Table1Row(
+            label="x", query="q", topology="g", d=1.0, r=2.0, n=8,
+            measured_rounds=1, upper_formula=1.0, lower_formula=1.0,
+            gap=gap, gap_budget=budget, correct=True,
+        )
+
+    # gap <= allowance * budget, inclusive at the boundary.
+    assert gap_within_budget(row_with(64.0, 1.0))
+    assert not gap_within_budget(row_with(64.01, 1.0))
+    # The allowance parameter scales the ceiling.
+    assert gap_within_budget(row_with(2.0, 1.0), polylog_allowance=2.0)
+    assert not gap_within_budget(row_with(2.1, 1.0), polylog_allowance=2.0)
+    # A bigger structural budget absorbs a bigger gap.
+    assert gap_within_budget(row_with(100.0, 2.0))

@@ -1,0 +1,420 @@
+"""Tests for repro.lab — specs, cache, runner, report, CLI.
+
+Covers the lab's load-bearing guarantees:
+
+* spec content hashes are stable (pinned) and construction-order
+  independent;
+* seedless scenarios are rejected at the boundary;
+* the result cache hits on identical specs, misses on changed ones, and
+  survives corruption;
+* serial and parallel runs produce byte-identical artifacts;
+* the CLI runs a suite end-to-end and writes ``BENCH_lab.json``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lab import (
+    ARTIFACT_FILENAME,
+    ResultCache,
+    ScenarioSpec,
+    SuiteSpec,
+    aggregate,
+    answer_digest,
+    artifact_bytes,
+    build_query,
+    build_topology,
+    execute_scenario,
+    expand_grid,
+    get_suite,
+    percentile,
+    run_suite,
+    suite_names,
+)
+from repro.lab.__main__ import main as lab_main
+from repro.lab.results import ScenarioResult
+from repro.lab.suites import register_suite
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        family="bcq-degenerate",
+        query="degenerate",
+        query_params={"vertices": 4, "d": 1},
+        topology="clique",
+        topology_params={"n": 3},
+        n=8,
+        domain_size=8,
+        seed=11,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def tiny_suite(name="tiny"):
+    return SuiteSpec(
+        name=name,
+        scenarios=(
+            tiny_spec(),
+            tiny_spec(backend="columnar"),
+            ScenarioSpec(
+                family="faq-line",
+                query="hard-star",
+                query_params={"arms": 3},
+                topology="line",
+                topology_params={"n": 3},
+                n=12,
+                assignment="worst-case",
+                seed=11,
+            ),
+            ScenarioSpec(
+                family="faq-hypergraph",
+                query="acyclic",
+                query_params={"edges": 3, "arity": 2},
+                topology="hypercube",
+                topology_params={"dim": 2},
+                n=8,
+                domain_size=4,
+                semiring="counting",
+                seed=11,
+            ),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+def test_spec_rejects_seed_none():
+    with pytest.raises(ValueError, match="seed"):
+        tiny_spec(seed=None)
+
+
+def test_spec_validation_errors():
+    with pytest.raises(ValueError, match="semiring"):
+        tiny_spec(semiring="nope")
+    with pytest.raises(ValueError, match="backend"):
+        tiny_spec(backend="nope")
+    with pytest.raises(ValueError, match="assignment"):
+        tiny_spec(assignment="nope")
+    with pytest.raises(ValueError, match="n must be positive"):
+        tiny_spec(n=0)
+    with pytest.raises(ValueError, match="JSON scalar"):
+        tiny_spec(query_params={"bad": [1, 2]})
+
+
+def test_spec_hash_is_construction_order_independent():
+    a = tiny_spec(query_params={"vertices": 4, "d": 1})
+    b = tiny_spec(query_params={"d": 1, "vertices": 4})
+    assert a == b
+    assert a.content_hash() == b.content_hash()
+
+
+def test_spec_hash_pinned():
+    """The content hash is a cross-session cache key — pin it."""
+    spec = ScenarioSpec(
+        family="pin", query="tree", topology="line", n=8, seed=1,
+        query_params={"edges": 3}, topology_params={"n": 3},
+    )
+    assert spec.content_hash() == (
+        "2f335139d4f6c9b87a35e86b3d4291e4ba0ea6aafa08cd6c1fe2b19c98e3a62c"
+    )
+
+
+def test_spec_hash_changes_with_any_field():
+    base = tiny_spec()
+    for changed in (
+        tiny_spec(seed=12),
+        tiny_spec(n=9),
+        tiny_spec(backend="columnar"),
+        tiny_spec(query_params={"vertices": 4, "d": 2}),
+        tiny_spec(topology_params={"n": 4}),
+    ):
+        assert changed.content_hash() != base.content_hash()
+
+
+def test_spec_json_round_trip():
+    spec = tiny_spec(backend="columnar", assignment="single")
+    again = ScenarioSpec.from_json_dict(
+        json.loads(json.dumps(spec.to_json_dict()))
+    )
+    assert again == spec
+    assert again.content_hash() == spec.content_hash()
+
+
+def test_expand_grid_cartesian_and_deterministic():
+    specs = expand_grid(
+        dict(family="f", query="tree", topology="line",
+             topology_params={"n": 3}, seed=1),
+        n=[8, 16],
+        backend=["dict", "columnar"],
+    )
+    assert len(specs) == 4
+    # Rightmost axis varies fastest.
+    assert [(s.n, s.backend) for s in specs] == [
+        (8, "dict"), (8, "columnar"), (16, "dict"), (16, "columnar"),
+    ]
+    with pytest.raises(ValueError, match="empty"):
+        expand_grid(dict(family="f", query="tree", topology="line", seed=1), n=[])
+
+
+def test_suite_families_and_merge_dedup():
+    suite = tiny_suite()
+    assert suite.families == ("bcq-degenerate", "faq-line", "faq-hypergraph")
+    merged = suite.merged_with(tiny_suite())
+    assert len(merged) == len(suite)  # identical scenarios dedup
+
+
+# ---------------------------------------------------------------------------
+# Results helpers
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_linear_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
+    assert percentile([5.0], 90) == 5.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_answer_digest_canonical():
+    a = answer_digest(("A",), {(1,): True, (0,): True})
+    b = answer_digest(("A",), {(0,): True, (1,): True})
+    assert a == b
+    assert answer_digest(("A",), {(0,): True}) != a
+    assert answer_digest(("B",), {(1,): True, (0,): True}) != a
+
+
+# ---------------------------------------------------------------------------
+# Execution + cache
+# ---------------------------------------------------------------------------
+
+
+def test_execute_scenario_is_deterministic():
+    spec = tiny_spec()
+    first = execute_scenario(spec).deterministic_record()
+    second = execute_scenario(spec).deterministic_record()
+    assert first == second
+
+
+def test_colocated_scenario_has_undefined_gap():
+    """assignment='single' co-locates everything: lower bound 0, gap None;
+    the Table1Row view maps that to inf so budget checks fail loudly."""
+    from repro.core import gap_within_budget
+
+    result = execute_scenario(tiny_spec(assignment="single"))
+    assert result.correct
+    assert result.measured_rounds == 0
+    assert result.gap is None
+    row = result.to_table1_row()
+    assert row.gap == float("inf")
+    assert not gap_within_budget(row)
+    # And the artifact stays strict JSON (null, not Infinity).
+    json.dumps(result.deterministic_record(), allow_nan=False)
+
+
+def test_result_record_round_trip():
+    result = execute_scenario(tiny_spec())
+    rebuilt = ScenarioResult.from_record(result.deterministic_record(), cached=True)
+    assert rebuilt.deterministic_record() == result.deterministic_record()
+    assert rebuilt.cached
+
+
+def test_cache_miss_then_hit(tmp_path):
+    suite = tiny_suite()
+    cache = ResultCache(str(tmp_path / "cache"))
+    first = run_suite(suite, cache=cache)
+    assert first.cache_hits == 0
+    assert first.executed == len(suite)
+
+    # Fresh cache object (re-reads the JSONL): everything hits.
+    cache2 = ResultCache(str(tmp_path / "cache"))
+    second = run_suite(suite, cache=cache2)
+    assert second.cache_hits == len(suite)
+    assert second.executed == 0
+    assert second.hit_rate >= 0.9
+    assert all(r.cached for r in second.results)
+    assert artifact_bytes(first) == artifact_bytes(second)
+
+
+def test_cache_misses_on_changed_spec(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    run_suite(SuiteSpec("one", (tiny_spec(),)), cache=cache)
+    changed = run_suite(SuiteSpec("two", (tiny_spec(seed=12),)), cache=cache)
+    assert changed.executed == 1
+    assert changed.cache_hits == 0
+
+
+def test_cache_force_reexecutes_but_still_writes(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    suite = SuiteSpec("one", (tiny_spec(),))
+    run_suite(suite, cache=cache)
+    forced = run_suite(suite, cache=cache, force=True)
+    assert forced.executed == 1 and forced.cache_hits == 0
+    again = run_suite(suite, cache=ResultCache(str(tmp_path)))
+    assert again.cache_hits == 1
+
+
+def test_cache_skips_corrupt_lines(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("k1", {"x": 1})
+    with open(cache.path, "a", encoding="utf-8") as fh:
+        fh.write("this is not json\n")
+        fh.write(json.dumps({"key": "k2", "schema": "other/schema"}) + "\n")
+    reloaded = ResultCache(str(tmp_path))
+    assert reloaded.get("k1") == {"x": 1}
+    assert "k2" not in reloaded
+    assert reloaded.skipped_lines == 2
+
+
+def test_duplicate_scenarios_execute_once(tmp_path):
+    spec = tiny_spec()
+    suite = SuiteSpec("dup", (spec, spec))
+    run = run_suite(suite, cache=ResultCache(str(tmp_path)))
+    assert run.executed == 1
+    assert len(run.results) == 2
+    assert run.results[0].deterministic_record() == run.results[1].deterministic_record()
+    # Both occurrences count as cache hits on a re-run: 100%, not 50%.
+    again = run_suite(suite, cache=ResultCache(str(tmp_path)))
+    assert again.executed == 0
+    assert again.cache_hits == 2
+    assert again.hit_rate == 1.0
+
+
+def test_structure_and_instance_seed_streams_differ():
+    """Regression: the runner must not feed the structure seed back into
+    the instance generator (spawn_seeds prefix stability makes that an
+    easy mistake)."""
+    from repro.workloads import (
+        random_d_degenerate_query,
+        random_instance,
+        spawn_seeds,
+    )
+
+    spec = tiny_spec()
+    structure_seed, instance_seed = spawn_seeds(spec.seed, 2)
+    assert structure_seed != instance_seed
+    built = build_query(spec)
+    h = random_d_degenerate_query(4, 1, seed=structure_seed)
+    expected, _ = random_instance(h, 8, 8, seed=instance_seed)
+    collided, _ = random_instance(h, 8, 8, seed=structure_seed)
+    built_rows = {name: f.rows for name, f in built.query.factors.items()}
+    assert built_rows == {name: f.rows for name, f in expected.items()}
+    assert built_rows != {name: f.rows for name, f in collided.items()}
+
+
+def test_partial_failure_preserves_completed_cache_writes(tmp_path):
+    """One failing scenario must not discard its siblings' finished work:
+    completed results are persisted as they arrive, then the failure is
+    re-raised."""
+    good = tiny_spec()
+    bad = tiny_spec(assignment="worst-case")  # degenerate has no TRIBES sides
+    suite = SuiteSpec("partial", (good, bad))
+    with pytest.raises(RuntimeError, match="worst-case"):
+        run_suite(suite, cache=ResultCache(str(tmp_path)), jobs=2)
+    again = run_suite(
+        SuiteSpec("good", (good,)), cache=ResultCache(str(tmp_path))
+    )
+    assert again.cache_hits == 1 and again.executed == 0
+
+
+def test_serial_and_parallel_runs_are_byte_identical():
+    suite = tiny_suite()
+    serial = run_suite(suite, jobs=1)
+    parallel = run_suite(suite, jobs=2)
+    assert artifact_bytes(serial) == artifact_bytes(parallel)
+    assert serial.all_correct
+
+
+def test_runner_rejects_bad_jobs_and_unknown_families():
+    with pytest.raises(ValueError, match="jobs"):
+        run_suite(tiny_suite(), jobs=0)
+    with pytest.raises(ValueError, match="query family"):
+        build_query(tiny_spec(query="nope", query_params={}))
+    with pytest.raises(ValueError, match="topology family"):
+        build_topology(tiny_spec(topology="nope", topology_params={}))
+    with pytest.raises(ValueError, match="topology params"):
+        build_topology(tiny_spec(topology_params={"wrong": 1}))
+
+
+def test_worst_case_assignment_needs_hard_family():
+    spec = tiny_spec(assignment="worst-case")
+    with pytest.raises(RuntimeError, match="worst-case"):
+        run_suite(SuiteSpec("bad", (spec,)))
+
+
+# ---------------------------------------------------------------------------
+# Registered suites + artifact + CLI
+# ---------------------------------------------------------------------------
+
+
+def test_registered_suites_are_buildable():
+    names = suite_names()
+    assert {"smoke", "table1", "backend-compare", "scaling"} <= set(names)
+    for name in names:
+        suite = get_suite(name)
+        assert len(suite) > 0
+    with pytest.raises(ValueError, match="unknown suite"):
+        get_suite("nope")
+
+
+def test_smoke_suite_covers_required_diversity():
+    suite = get_suite("smoke")
+    assert len(suite.families) >= 4
+    assert len({s.query for s in suite}) >= 2
+    assert len({s.topology for s in suite}) >= 2
+    backends = {s.backend for s in suite}
+    assert {"dict", "columnar"} <= backends
+
+
+def test_artifact_payload_shape(tmp_path):
+    run = run_suite(SuiteSpec("one", (tiny_spec(),)))
+    payload = json.loads(artifact_bytes(run))
+    assert payload["schema"] == "repro.lab/bench.v1"
+    assert payload["suite"] == "one"
+    assert payload["scenario_count"] == 1
+    assert payload["all_correct"] is True
+    (scenario,) = payload["scenarios"]
+    assert scenario["spec"]["seed"] == 11
+    assert scenario["measured_rounds"] >= 0
+    (agg,) = payload["aggregates"]
+    assert agg["family"] == "bcq-degenerate"
+    assert agg["scenarios"] == 1
+
+
+def test_aggregate_groups_by_family():
+    run = run_suite(tiny_suite())
+    aggs = {a.family: a for a in aggregate(run.results)}
+    assert aggs["bcq-degenerate"].scenarios == 2
+    assert aggs["faq-line"].scenarios == 1
+    assert aggs["bcq-degenerate"].correct == 2
+
+
+def test_cli_run_and_list(tmp_path, capsys):
+    register_suite("test-tiny", tiny_suite, overwrite=True)
+    out = str(tmp_path / "out")
+    code = lab_main(
+        ["run", "test-tiny", "--out", out, "--jobs", "2", "--markdown", "--csv"]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured
+    assert os.path.exists(os.path.join(out, ARTIFACT_FILENAME))
+    assert os.path.exists(os.path.join(out, "LAB_tiny.md"))
+    assert os.path.exists(os.path.join(out, "LAB_tiny.csv"))
+    # Second CLI run: served from the cache written under <out>.
+    code = lab_main(["run", "test-tiny", "--out", out, "--quiet"])
+    assert code == 0
+    assert "4 cached (100%)" in capsys.readouterr().out
+
+    assert lab_main(["list"]) == 0
+    assert "test-tiny" in capsys.readouterr().out

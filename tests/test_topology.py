@@ -205,3 +205,61 @@ def test_mincut_clique_property(n):
 def test_line_distance_property(n):
     g = Topology.line(n + 1)
     assert g.distance("P0", f"P{n}") == n
+
+
+# ---------------------------------------------------------------------------
+# New topology families: hypercube + expander (and regular determinism)
+# ---------------------------------------------------------------------------
+
+
+def test_hypercube_structure():
+    g = Topology.hypercube(3)
+    assert g.num_nodes == 8
+    assert g.num_edges == 12  # dim * 2^(dim-1)
+    assert all(g.degree(v) == 3 for v in g.nodes)
+    assert g.diameter() == 3
+    assert g.is_connected()
+    # Antipodal nodes differ in every bit: P0 (000) vs P7 (111).
+    assert g.distance("P0", "P7") == 3
+
+
+def test_hypercube_dim_one_and_validation():
+    g = Topology.hypercube(1)
+    assert g.num_nodes == 2
+    assert g.num_edges == 1
+    with pytest.raises(ValueError):
+        Topology.hypercube(0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 6))
+def test_hypercube_regularity_property(dim):
+    g = Topology.hypercube(dim)
+    assert g.num_nodes == 2**dim
+    assert all(g.degree(v) == dim for v in g.nodes)
+    # Min cut of the hypercube over all players is its degree.
+    assert mincut(g, g.nodes) == dim
+
+
+def test_expander_is_seeded_regular():
+    g = Topology.expander(10, 3, seed=5)
+    assert g.num_nodes == 10
+    assert all(g.degree(v) == 3 for v in g.nodes)
+    assert g.is_connected()
+
+
+def test_expander_determinism_under_fixed_seed():
+    a = Topology.expander(12, 3, seed=9)
+    b = Topology.expander(12, 3, seed=9)
+    assert a.edges() == b.edges()
+    assert a.name == b.name
+
+
+def test_random_regular_determinism_under_fixed_seed():
+    a = Topology.random_regular(3, 12, seed=4)
+    b = Topology.random_regular(3, 12, seed=4)
+    assert a.edges() == b.edges()
+    # Different seeds explore different graphs (overwhelmingly likely for
+    # n=12, d=3; these specific seeds are checked to differ).
+    c = Topology.random_regular(3, 12, seed=5)
+    assert a.edges() != c.edges()
