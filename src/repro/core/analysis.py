@@ -32,6 +32,9 @@ class Table1Row:
         gap: measured / lower.
         gap_budget: The Table 1 gap column (Õ(1), Õ(d), Õ(d²r²), ...).
         correct: Protocol answer matched the centralized solver.
+        link_util: Peak per-round load of the busiest directed edge as a
+            fraction of the capacity ``B`` (1.0 = some link saturated its
+            Model 2.1 budget in some round; None = not measured).
     """
 
     label: str
@@ -46,6 +49,7 @@ class Table1Row:
     gap: float
     gap_budget: float
     correct: bool
+    link_util: Optional[float] = None
 
 
 def table1_row(label: str, planner: Planner) -> Table1Row:
@@ -67,23 +71,31 @@ def table1_row(label: str, planner: Planner) -> Table1Row:
         gap=report.measured_gap,
         gap_budget=table1_gap_budget(label, d, r),
         correct=report.correct,
+        link_util=report.link_utilization,
     )
 
 
 def format_table(rows: Sequence[Table1Row]) -> str:
-    """Render rows in the paper's Table 1 layout."""
+    """Render rows in the paper's Table 1 layout.
+
+    The ``link`` column is the run's peak per-round link utilization
+    (busiest directed edge bits / capacity ``B``) — ``1.00`` means the
+    protocol saturated some link's Model 2.1 budget in some round.
+    """
     header = (
         f"{'row':<16} {'query':<14} {'G':<14} {'d':>3} {'r':>3} {'N':>6} "
-        f"{'rounds':>8} {'upper':>10} {'lower':>10} {'gap':>8} {'budget':>8} ok"
+        f"{'rounds':>8} {'upper':>10} {'lower':>10} {'gap':>8} {'budget':>8} "
+        f"{'link':>5} ok"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
+        link = f"{row.link_util:>5.2f}" if row.link_util is not None else f"{'-':>5}"
         lines.append(
             f"{row.label:<16} {row.query:<14} {row.topology:<14} "
             f"{row.d:>3.0f} {row.r:>3.0f} {row.n:>6} "
             f"{row.measured_rounds:>8} {row.upper_formula:>10.1f} "
             f"{row.lower_formula:>10.1f} {row.gap:>8.2f} "
-            f"{row.gap_budget:>8.1f} {'+' if row.correct else 'X'}"
+            f"{row.gap_budget:>8.1f} {link} {'+' if row.correct else 'X'}"
         )
     return "\n".join(lines)
 

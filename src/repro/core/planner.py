@@ -17,13 +17,19 @@ Assignment policies:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..faq import FAQQuery, scalar_value, solve_variable_elimination, solve_naive
 from ..lowerbounds.bounds import BoundReport, bcq_bounds, faq_bounds
 from ..network.topology import Topology
-from ..protocols.faq_protocol import FAQProtocolReport, run_distributed_faq
+from ..protocols.faq_protocol import (
+    ENGINES,
+    FAQProtocolReport,
+    run_distributed_faq,
+    validate_engine,
+)
 from ..semiring import BOOLEAN, Factor
 
 
@@ -90,6 +96,9 @@ class ExecutionReport:
         measured_rounds: Simulator round count.
         predicted: The closed-form :class:`BoundReport`.
         protocol: The raw protocol report.
+        protocol_wall_time: Seconds spent executing the protocol alone
+            (excludes the reference solve and bound formulas, which are
+            engine-independent harness work).
     """
 
     answer: Factor
@@ -98,6 +107,7 @@ class ExecutionReport:
     measured_rounds: int
     predicted: BoundReport
     protocol: FAQProtocolReport
+    protocol_wall_time: float = 0.0
 
     @property
     def measured_gap(self) -> float:
@@ -105,6 +115,18 @@ class ExecutionReport:
         if self.predicted.lower_rounds <= 0:
             return float("inf")
         return self.measured_rounds / self.predicted.lower_rounds
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits the protocol carried over all edges."""
+        return self.protocol.total_bits
+
+    @property
+    def link_utilization(self) -> float:
+        """Peak per-round link load as a fraction of the capacity ``B``."""
+        return self.protocol.simulation.link_utilization(
+            self.protocol.plan.capacity_bits
+        )
 
 
 class Planner:
@@ -121,6 +143,10 @@ class Planner:
             centralized reference solve and every player's free internal
             computation then run on that data plane.  ``None`` (default)
             keeps the query's own backend.
+        engine: Protocol execution engine — ``"generator"`` (the
+            reference per-node-generator simulator) or ``"compiled"``
+            (the block-granular RoundProgram fast path).  Both produce
+            identical answers and identical round/bit accounting.
     """
 
     def __init__(
@@ -130,8 +156,10 @@ class Planner:
         assignment: Optional[Dict[str, str]] = None,
         output_player: Optional[str] = None,
         backend: Optional[str] = None,
+        engine: str = "generator",
     ) -> None:
         self.backend = backend
+        self.engine = validate_engine(engine)
         if backend is not None:
             query = query.with_backend(backend)
         self.query = query
@@ -163,13 +191,16 @@ class Planner:
 
     def execute(self, max_rounds: int = 2_000_000) -> ExecutionReport:
         """Run the distributed protocol and cross-check the answer."""
+        start = time.perf_counter()
         protocol = run_distributed_faq(
             self.query,
             self.topology,
             self.assignment,
             output_player=self.output_player,
             max_rounds=max_rounds,
+            engine=self.engine,
         )
+        protocol_wall_time = time.perf_counter() - start
         reference = self.reference_answer()
         return ExecutionReport(
             answer=protocol.answer,
@@ -178,6 +209,7 @@ class Planner:
             measured_rounds=protocol.rounds,
             predicted=self.predict(),
             protocol=protocol,
+            protocol_wall_time=protocol_wall_time,
         )
 
 

@@ -6,6 +6,14 @@ Commands:
   scenario table and family aggregates, and write ``BENCH_lab.json``
   (plus optional markdown/CSV) under ``--out``.  Exit code 1 when any
   scenario's protocol answer disagrees with the centralized solver.
+  ``--engine generator|compiled`` overrides every scenario's protocol
+  engine; ``--engine both`` runs each scenario on both engines (paired,
+  for parity checks and speedup measurements).  ``--timings`` adds a
+  volatile wall-clock section (per-scenario times and per-pair engine
+  speedups) to the artifact.
+* ``parity <BENCH_lab.json>`` — verify engine parity in an artifact:
+  every generator/compiled pair must agree exactly on answer digest,
+  round count and total bits.  Exit code 1 on any mismatch.
 * ``list`` — show the registered suites with sizes and descriptions.
 
 Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
@@ -17,21 +25,26 @@ results.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
+from ..protocols.faq_protocol import ENGINES
 from .cache import ResultCache
 from .report import (
+    engine_pairs,
     format_aggregate_table,
     format_results_table,
+    parity_failures,
     render_csv,
     render_markdown,
     write_artifact,
 )
 from .results import aggregate
 from .runner import run_suite
-from .suites import get_suite, suite_names
+from .spec import SuiteSpec
+from .suites import get_suite, suite_names, with_engines
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,6 +86,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress per-scenario progress"
     )
+    run_p.add_argument(
+        "--engine", choices=list(ENGINES) + ["both"], default=None,
+        help="override the protocol engine for every scenario "
+        "('both' pairs each scenario across engines)",
+    )
+    run_p.add_argument(
+        "--timings", action="store_true",
+        help="add a volatile wall-clock section (per-scenario times, "
+        "per-pair engine speedups) to BENCH_lab.json",
+    )
+
+    parity_p = sub.add_parser(
+        "parity", help="check engine parity in a BENCH_lab.json artifact"
+    )
+    parity_p.add_argument("artifact", help="path to BENCH_lab.json")
 
     sub.add_parser("list", help="list registered suites")
     return parser
@@ -85,8 +113,38 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_parity(args: argparse.Namespace) -> int:
+    with open(args.artifact, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    records = payload.get("scenarios", [])
+    pairs = engine_pairs(records)
+    if not pairs:
+        print(
+            "no engine pairs in artifact (run a suite with --engine both "
+            "or the engine-compare/engine-smoke suites)"
+        )
+        return 1
+    failures = parity_failures(records)
+    print(f"{len(pairs)} engine pair(s) checked")
+    if failures:
+        print(f"PARITY FAILURES ({len(failures)}):", *failures, sep="\n  ")
+        return 1
+    print("engine parity OK: answer digests, rounds and bits all equal")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = get_suite(args.suite)
+    if args.engine == "both":
+        suite = with_engines(
+            suite, suite.name, suite.description or suite.name
+        )
+    elif args.engine is not None:
+        suite = SuiteSpec(
+            name=suite.name,
+            scenarios=tuple(s.with_(engine=args.engine) for s in suite),
+            description=suite.description,
+        )
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.path.join(args.out, ".lab_cache")
@@ -108,7 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"in {run.wall_time:.2f}s"
     )
 
-    artifact = write_artifact(run, args.out)
+    artifact = write_artifact(run, args.out, timings=args.timings)
     print(f"wrote {artifact}")
     if args.markdown:
         path = os.path.join(args.out, f"LAB_{suite.name}.md")
@@ -132,6 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "parity":
+        return _cmd_parity(args)
     return _cmd_run(args)
 
 

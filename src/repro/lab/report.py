@@ -62,14 +62,16 @@ def render_markdown(run: SuiteRun) -> str:
         f"families; {run.cache_hits} cached, {run.executed} executed "
         f"on {run.jobs} job(s) in {run.wall_time:.2f}s.",
         "",
-        "| scenario | topology | N | rounds | upper | lower | gap | budget | ok |",
-        "|---|---|---:|---:|---:|---:|---:|---:|:-:|",
+        "| scenario | topology | engine | N | rounds | bits | upper | lower "
+        "| gap | budget | ok |",
+        "|---|---|---|---:|---:|---:|---:|---:|---:|---:|:-:|",
     ]
     for r in run.results:
         gap = f"{r.gap:.2f}" if r.gap is not None else "-"
         lines.append(
-            f"| `{r.query_name}` | {r.topology_name} | {r.rows} "
-            f"| {r.measured_rounds} | {r.upper_formula:.1f} "
+            f"| `{r.query_name}` | {r.topology_name} | {r.spec.engine} "
+            f"| {r.rows} | {r.measured_rounds} | {r.total_bits} "
+            f"| {r.upper_formula:.1f} "
             f"| {r.lower_formula:.1f} | {gap} | {r.gap_budget:.1f} "
             f"| {'ok' if r.correct else 'FAIL'} |"
         )
@@ -97,8 +99,9 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
     writer.writerow(
         [
             "family", "query", "topology", "backend", "assignment",
-            "semiring", "n", "seed", "players", "d", "r", "rows",
-            "measured_rounds", "upper_formula", "lower_formula",
+            "engine", "semiring", "n", "seed", "players", "d", "r", "rows",
+            "measured_rounds", "total_bits", "link_utilization",
+            "upper_formula", "lower_formula",
             "gap", "gap_budget", "correct", "spec_hash",
         ]
     )
@@ -107,8 +110,9 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             [
                 r.spec.family, r.query_name, r.topology_name,
                 r.spec.backend or "native", r.spec.assignment,
-                r.spec.semiring, r.spec.n, r.spec.seed, r.players,
-                r.d, r.r, r.rows, r.measured_rounds, r.upper_formula,
+                r.spec.engine, r.spec.semiring, r.spec.n, r.spec.seed,
+                r.players, r.d, r.r, r.rows, r.measured_rounds,
+                r.total_bits, r.link_utilization, r.upper_formula,
                 r.lower_formula, "" if r.gap is None else r.gap,
                 r.gap_budget, int(r.correct), r.spec_hash,
             ]
@@ -116,14 +120,119 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
     return buf.getvalue()
 
 
-def artifact_payload(run: SuiteRun) -> Dict[str, Any]:
-    """The deterministic BENCH payload for a suite run.
+def _pair_key(spec_record: Dict[str, Any]) -> str:
+    """A scenario's identity with the engine axis erased."""
+    stripped = {k: v for k, v in spec_record.items() if k != "engine"}
+    return json.dumps(stripped, sort_keys=True, separators=(",", ":"))
 
-    Contains only reproducible data: identical for serial and parallel
-    runs, for fresh and fully-cached runs.
+
+def engine_pairs(
+    records: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Dict[str, Any]]]:
+    """Group scenario records that differ only in ``spec.engine``.
+
+    Returns one ``{engine: record}`` dict per scenario identity that was
+    run on more than one engine (suite order of first appearance).
+    """
+    groups: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    order: List[str] = []
+    for record in records:
+        key = _pair_key(record["spec"])
+        if key not in groups:
+            groups[key] = {}
+            order.append(key)
+        groups[key][record["spec"].get("engine", "generator")] = record
+    return [groups[key] for key in order if len(groups[key]) > 1]
+
+
+def parity_failures(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Engine-parity violations among scenario records.
+
+    For every generator/compiled pair, the answer digest, round count and
+    total bits must be exactly equal; any difference is a correctness bug
+    in one of the engines, never a tolerable deviation.
+    """
+    failures: List[str] = []
+    for pair in engine_pairs(records):
+        engines = sorted(pair)
+        baseline_engine = engines[0]
+        baseline = pair[baseline_engine]
+        for engine in engines[1:]:
+            other = pair[engine]
+            for field in ("answer_digest", "measured_rounds", "total_bits"):
+                if baseline[field] != other[field]:
+                    failures.append(
+                        f"{other['label']}: {field} {other[field]!r} != "
+                        f"{baseline_engine}'s {baseline[field]!r}"
+                    )
+    return failures
+
+
+def timings_payload(run: SuiteRun) -> Dict[str, Any]:
+    """Wall-clock measurements for a suite run (volatile by nature).
+
+    Never part of the deterministic artifact payload; included only on
+    request (``--timings``) under a separate key.  For engine pairs the
+    ``protocol_speedup`` divides *protocol* wall times — the part of a
+    scenario the engine axis changes (instance generation, the reference
+    solve and the bound formulas are engine-independent harness work).
+    """
+    scenarios = [
+        {
+            "label": r.spec.label,
+            "engine": r.spec.engine,
+            "wall_time": r.wall_time,
+            "protocol_wall_time": r.protocol_wall_time,
+            "cached": r.cached,
+        }
+        for r in run.results
+    ]
+    by_key: Dict[str, Dict[str, ScenarioResult]] = {}
+    for r in run.results:
+        key = _pair_key(r.spec.to_json_dict())
+        by_key.setdefault(key, {})[r.spec.engine] = r
+    pairs = []
+    for group in by_key.values():
+        gen = group.get("generator")
+        comp = group.get("compiled")
+        if gen is None or comp is None or gen.cached or comp.cached:
+            continue
+        pairs.append(
+            {
+                "label": comp.spec.with_(engine="generator").label,
+                "rows": comp.rows,
+                "generator_protocol_s": gen.protocol_wall_time,
+                "compiled_protocol_s": comp.protocol_wall_time,
+                "protocol_speedup": (
+                    gen.protocol_wall_time / comp.protocol_wall_time
+                    if comp.protocol_wall_time > 0
+                    else None
+                ),
+                "generator_scenario_s": gen.wall_time,
+                "compiled_scenario_s": comp.wall_time,
+            }
+        )
+    headline = None
+    if pairs:
+        largest = max(pairs, key=lambda p: p["rows"])
+        headline = {
+            "largest_scenario": largest["label"],
+            "rows": largest["rows"],
+            "protocol_speedup": largest["protocol_speedup"],
+        }
+    return {"scenarios": scenarios, "engine_pairs": pairs, "headline": headline}
+
+
+def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
+    """The BENCH payload for a suite run.
+
+    The default payload contains only reproducible data: identical for
+    serial and parallel runs, for fresh and fully-cached runs.  With
+    ``timings=True`` a volatile ``"timings"`` key is added (and the
+    byte-for-byte reproducibility guarantee no longer applies to it).
     """
     aggregates = aggregate(run.results)
-    return {
+    payload = {
         "schema": ARTIFACT_SCHEMA,
         "suite": run.suite.name,
         "description": run.suite.description,
@@ -133,19 +242,22 @@ def artifact_payload(run: SuiteRun) -> Dict[str, Any]:
         "scenarios": [r.deterministic_record() for r in run.results],
         "aggregates": [a.to_record() for a in aggregates],
     }
+    if timings:
+        payload["timings"] = timings_payload(run)
+    return payload
 
 
-def artifact_bytes(run: SuiteRun) -> bytes:
+def artifact_bytes(run: SuiteRun, timings: bool = False) -> bytes:
     """Canonical serialization (sorted keys, fixed separators, UTF-8)."""
-    payload = artifact_payload(run)
+    payload = artifact_payload(run, timings=timings)
     text = json.dumps(payload, sort_keys=True, indent=2, allow_nan=False)
     return (text + "\n").encode("utf-8")
 
 
-def write_artifact(run: SuiteRun, out_dir: str) -> str:
+def write_artifact(run: SuiteRun, out_dir: str, timings: bool = False) -> str:
     """Write ``BENCH_lab.json`` under ``out_dir``; returns the path."""
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, ARTIFACT_FILENAME)
     with open(path, "wb") as fh:
-        fh.write(artifact_bytes(run))
+        fh.write(artifact_bytes(run, timings=timings))
     return path

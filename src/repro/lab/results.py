@@ -27,7 +27,9 @@ from ..core.analysis import Table1Row
 from .spec import ScenarioSpec
 
 #: Bump together with cache-incompatible result changes.
-RESULT_SCHEMA = "repro.lab/result.v1"
+#: v2: records carry total_bits and link_utilization (the two-plane
+#: engine's bit-accounting parity contract needs both in artifacts).
+RESULT_SCHEMA = "repro.lab/result.v2"
 
 
 @dataclass
@@ -44,6 +46,11 @@ class ScenarioResult:
         r: Arity component of the bound formulas.
         rows: Largest input listing size N of the materialized instance.
         measured_rounds: Simulator rounds of the protocol run.
+        total_bits: Total bits the protocol carried over all edges — part
+            of the engine-parity contract (generator and compiled runs
+            of the same scenario must agree exactly).
+        link_utilization: Peak per-round bits of the busiest directed
+            edge divided by the capacity ``B`` (the Table 1 link column).
         upper_formula: Theorem 4.1/5.2 upper-bound value.
         lower_formula: Lower-bound value.
         gap: measured / lower, or None when the lower bound is 0
@@ -53,6 +60,8 @@ class ScenarioResult:
         answer_digest: sha256 of the canonicalized answer factor.
         wall_time: Seconds spent executing (volatile; excluded from the
             deterministic record).
+        protocol_wall_time: Seconds spent in the protocol run alone
+            (volatile) — what the engine axis actually changes.
         cached: True when served from the result cache (volatile).
     """
 
@@ -65,6 +74,8 @@ class ScenarioResult:
     r: float
     rows: int
     measured_rounds: int
+    total_bits: int
+    link_utilization: float
     upper_formula: float
     lower_formula: float
     gap: Optional[float]
@@ -72,6 +83,7 @@ class ScenarioResult:
     correct: bool
     answer_digest: str
     wall_time: float = 0.0
+    protocol_wall_time: float = 0.0
     cached: bool = False
 
     # ------------------------------------------------------------------
@@ -92,6 +104,8 @@ class ScenarioResult:
             "r": self.r,
             "rows": self.rows,
             "measured_rounds": self.measured_rounds,
+            "total_bits": self.total_bits,
+            "link_utilization": self.link_utilization,
             "upper_formula": self.upper_formula,
             "lower_formula": self.lower_formula,
             "gap": self.gap,
@@ -115,6 +129,8 @@ class ScenarioResult:
             r=record["r"],
             rows=record["rows"],
             measured_rounds=record["measured_rounds"],
+            total_bits=record["total_bits"],
+            link_utilization=record["link_utilization"],
             upper_formula=record["upper_formula"],
             lower_formula=record["lower_formula"],
             gap=record["gap"],
@@ -145,6 +161,7 @@ class ScenarioResult:
             gap=self.gap if self.gap is not None else float("inf"),
             gap_budget=self.gap_budget,
             correct=self.correct,
+            link_util=self.link_utilization,
         )
 
 

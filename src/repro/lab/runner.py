@@ -259,7 +259,8 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     topology = build_topology(spec)
     assignment = build_assignment(spec, built, topology)
     planner = Planner(
-        built.query, topology, assignment=assignment, backend=spec.backend
+        built.query, topology, assignment=assignment, backend=spec.backend,
+        engine=spec.engine,
     )
     report = planner.execute(max_rounds=spec.max_rounds)
     predicted = report.predicted
@@ -277,6 +278,8 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
         r=r,
         rows=planner.query.max_factor_size,
         measured_rounds=report.measured_rounds,
+        total_bits=int(report.total_bits),
+        link_utilization=float(report.link_utilization),
         upper_formula=float(predicted.upper_rounds),
         lower_formula=lower,
         gap=gap,
@@ -284,6 +287,7 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
         correct=bool(report.correct),
         answer_digest=answer_digest(report.answer.schema, report.answer.rows),
         wall_time=time.perf_counter() - start,
+        protocol_wall_time=float(report.protocol_wall_time),
         cached=False,
     )
 

@@ -21,12 +21,15 @@ import json
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from ..protocols.faq_protocol import ENGINES
 from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 
 #: Bumped whenever the result schema or scenario semantics change; part of
 #: the content hash, so stale cache entries miss instead of lying.
 #: v2: structure and instance generators get distinct child seeds.
-SPEC_VERSION = 2
+#: v3: scenarios carry a protocol engine axis; results record bit totals
+#: and link utilization.
+SPEC_VERSION = 3
 
 #: Assignment policies the runner implements.
 ASSIGNMENTS = ("round-robin", "single", "worst-case")
@@ -75,6 +78,9 @@ class ScenarioSpec:
         seed: Master seed.  **Required** — the lab rejects ``seed=None``
             (seedless scenarios are irreproducible by construction).
         max_rounds: Simulator round cap.
+        engine: Protocol execution engine (``"generator"`` or
+            ``"compiled"``) — an explicit axis so engine-parity suites
+            can pair otherwise-identical scenarios.
     """
 
     family: str
@@ -89,6 +95,7 @@ class ScenarioSpec:
     backend: Optional[str] = None
     assignment: str = "round-robin"
     max_rounds: int = 2_000_000
+    engine: str = "generator"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "query_params", _freeze_params(self.query_params))
@@ -113,6 +120,10 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown assignment policy {self.assignment!r}; known: {ASSIGNMENTS}"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {ENGINES}"
+            )
 
     # ------------------------------------------------------------------
     # Identity
@@ -133,6 +144,7 @@ class ScenarioSpec:
             "assignment": self.assignment,
             "seed": self.seed,
             "max_rounds": self.max_rounds,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -153,6 +165,7 @@ class ScenarioSpec:
             assignment=data.get("assignment", "round-robin"),
             seed=data["seed"],
             max_rounds=data.get("max_rounds", 2_000_000),
+            engine=data.get("engine", "generator"),
         )
 
     def content_hash(self) -> str:
@@ -187,7 +200,8 @@ class ScenarioSpec:
         backend = self.backend or "native"
         return (
             f"{self.family}:{self.query}({qp})@{self.topology}({tp})"
-            f"/N={self.n}/{self.semiring}/{backend}/{self.assignment}/s{self.seed}"
+            f"/N={self.n}/{self.semiring}/{backend}/{self.assignment}"
+            f"/{self.engine}/s{self.seed}"
         )
 
     def with_(self, **changes: Any) -> "ScenarioSpec":

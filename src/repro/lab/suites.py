@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..protocols.faq_protocol import ENGINES
 from .spec import ScenarioSpec, SuiteSpec, expand_grid
 
 #: Master seed for the built-in suites (the paper's PODS'19 publication
@@ -274,7 +275,21 @@ def _scaling_suite() -> SuiteSpec:
             assignment="worst-case",
             seed=DEFAULT_SEED,
         ),
-        n=[32, 64, 128, 256],
+        n=[32, 64, 128, 256, 1024],
+    ) + expand_grid(
+        # The headline streaming workload on the columnar data plane —
+        # the rows the engine-speedup criterion is measured on.
+        dict(
+            family="scaling-xl",
+            query="hard-star",
+            query_params={"arms": 4},
+            topology="line",
+            topology_params={"n": 4},
+            assignment="worst-case",
+            backend="columnar",
+            seed=DEFAULT_SEED,
+        ),
+        n=[2048, 8192],
     ) + expand_grid(
         dict(
             family="scaling-players",
@@ -308,6 +323,39 @@ def _scaling_suite() -> SuiteSpec:
     )
 
 
+def with_engines(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Pair every scenario of ``suite`` across both protocol engines.
+
+    Consecutive scenarios differ only in ``engine``, so reports read as
+    generator/compiled pairs and the ``parity`` command (and tests) can
+    assert digest + rounds + bits equality pairwise.
+    """
+    scenarios = tuple(
+        spec.with_(engine=engine)
+        for spec in suite.scenarios
+        for engine in ENGINES
+    )
+    return SuiteSpec(name=name, scenarios=scenarios, description=description)
+
+
+def _engine_compare_suite() -> SuiteSpec:
+    return with_engines(
+        _table1_suite(),
+        "engine-compare",
+        "every Table 1 scenario on both protocol engines; answer digests, "
+        "round counts and total bits must match pairwise",
+    )
+
+
+def _engine_smoke_suite() -> SuiteSpec:
+    return with_engines(
+        _smoke_suite(),
+        "engine-smoke",
+        "the CI smoke cross-section on both protocol engines (the "
+        "engine-parity gate)",
+    )
+
+
 register_suite("smoke", _smoke_suite)
 register_suite("table1", _table1_suite)
 register_suite("table1-line", table1_line_suite)
@@ -316,3 +364,5 @@ register_suite("table1-degenerate", table1_degenerate_suite)
 register_suite("table1-hypergraph", table1_hypergraph_suite)
 register_suite("backend-compare", _backend_compare_suite)
 register_suite("scaling", _scaling_suite)
+register_suite("engine-compare", _engine_compare_suite)
+register_suite("engine-smoke", _engine_smoke_suite)

@@ -2,6 +2,18 @@
 
 from .flows import routing_demand, sparsity_bound, tau_mcf, tau_mcf_bits
 from .mincut import mincut, mincut_partition
+from .program import (
+    BlockMessage,
+    BroadcastOp,
+    ComputeStep,
+    ConvergecastOp,
+    NodeProgram,
+    ParallelOps,
+    ProgramContext,
+    RouteOp,
+    chunk_pattern,
+    run_program,
+)
 from .simulator import (
     CapacityExceeded,
     Message,
@@ -42,4 +54,14 @@ __all__ = [
     "SimulationError",
     "passive_relay",
     "run_protocol",
+    "NodeProgram",
+    "ProgramContext",
+    "BlockMessage",
+    "BroadcastOp",
+    "ConvergecastOp",
+    "RouteOp",
+    "ComputeStep",
+    "ParallelOps",
+    "run_program",
+    "chunk_pattern",
 ]

@@ -25,7 +25,34 @@ class CapacityExceeded(RuntimeError):
 
 
 class SimulationError(RuntimeError):
-    """The simulation violated an invariant (deadlock, round cap, ...)."""
+    """The simulation violated an invariant (deadlock, round cap, ...).
+
+    Attributes:
+        blocked: ``node -> sorted tags of the node's in-flight traffic``
+            for every node that was still live when the simulation gave
+            up — the tags say which protocol phase was still streaming
+            toward each node.  An empty list means no traffic was in
+            flight for the node in the final round; messages delivered
+            in earlier rounds (and possibly buffered unread inside the
+            protocol's own mailbox) are not visible to the simulator.
+    """
+
+    def __init__(self, message: str, blocked: Optional[Dict[str, List[str]]] = None) -> None:
+        super().__init__(message)
+        self.blocked: Dict[str, List[str]] = blocked or {}
+
+
+def _format_blocked(blocked: Dict[str, List[str]]) -> str:
+    """Render the blocked-node map for a :class:`SimulationError`."""
+    if not blocked:
+        return "no live nodes"
+    parts = []
+    for node in sorted(blocked):
+        tags = blocked[node]
+        parts.append(
+            f"{node}[{', '.join(tags) if tags else 'no in-flight traffic'}]"
+        )
+    return "; ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -134,6 +161,12 @@ class SimulationResult:
         total_messages: Message count.
         outputs: Return value of each node's generator.
         edge_bits: Bits per undirected edge (sorted pair) over the run.
+        bits_per_edge: Bits per *directed* edge ``(src, dst)`` — the
+            link-utilization view (an undirected edge is two links).
+        max_edge_bits_per_round: The busiest link-round of the run: the
+            largest number of bits any directed edge carried in a single
+            round (at most the capacity ``B``; the ratio is the paper's
+            per-round budget utilization).
         max_inflight_round: The last round in which a message was
             *delivered* (diagnostics).
     """
@@ -143,10 +176,18 @@ class SimulationResult:
     total_messages: int
     outputs: Dict[str, Any]
     edge_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    bits_per_edge: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    max_edge_bits_per_round: int = 0
     max_inflight_round: int = 0
 
     def output_of(self, node: str) -> Any:
         return self.outputs.get(node)
+
+    def link_utilization(self, capacity_bits: int) -> float:
+        """Peak per-round link load as a fraction of the capacity ``B``."""
+        if capacity_bits <= 0:
+            return 0.0
+        return self.max_edge_bits_per_round / capacity_bits
 
 
 class Simulator:
@@ -211,14 +252,21 @@ class Simulator:
         last_send_round = 0
         last_delivery_round = 0
         edge_bits: Dict[Tuple[str, str], int] = {}
+        bits_per_edge: Dict[Tuple[str, str], int] = {}
+        max_edge_bits_per_round = 0
 
         round_no = 0
         while True:
             round_no += 1
             if round_no > self.max_rounds:
+                blocked = {
+                    node: sorted({m.tag for m in pending if m.dst == node})
+                    for node in generators
+                }
                 raise SimulationError(
-                    f"exceeded max_rounds={self.max_rounds}; live nodes: "
-                    f"{sorted(generators)}"
+                    f"exceeded max_rounds={self.max_rounds}; blocked nodes: "
+                    f"{_format_blocked(blocked)}",
+                    blocked=blocked,
                 )
             # Deliver messages sent last round.
             inboxes: Dict[str, List[Message]] = {n: [] for n in contexts}
@@ -233,6 +281,7 @@ class Simulator:
 
             # Step every live generator once (deterministic order).
             finished: List[str] = []
+            round_edge_bits: Dict[Tuple[str, str], int] = {}
             for node in sorted(generators):
                 ctx = contexts[node]
                 ctx._begin_round(round_no, inboxes[node])
@@ -247,8 +296,17 @@ class Simulator:
                     total_messages += 1
                     key = tuple(sorted((msg.src, msg.dst)))
                     edge_bits[key] = edge_bits.get(key, 0) + msg.bits
+                    link = (msg.src, msg.dst)
+                    bits_per_edge[link] = bits_per_edge.get(link, 0) + msg.bits
+                    round_edge_bits[link] = (
+                        round_edge_bits.get(link, 0) + msg.bits
+                    )
                     last_send_round = round_no
                 pending.extend(sent)
+            if round_edge_bits:
+                busiest = max(round_edge_bits.values())
+                if busiest > max_edge_bits_per_round:
+                    max_edge_bits_per_round = busiest
             for node in finished:
                 del generators[node]
 
@@ -261,7 +319,23 @@ class Simulator:
             total_messages=total_messages,
             outputs=outputs,
             edge_bits=edge_bits,
+            bits_per_edge=bits_per_edge,
+            max_edge_bits_per_round=max_edge_bits_per_round,
             max_inflight_round=last_delivery_round,
+        )
+
+    def run_program(self, programs) -> SimulationResult:
+        """Execute compiled :class:`~repro.network.program.NodeProgram`s.
+
+        The batched fast path: same topology, capacity and round/bit
+        accounting contract as :meth:`run`, but whole blocks move per
+        edge per round instead of per-tuple messages.  See
+        :mod:`repro.network.program`.
+        """
+        from .program import run_program
+
+        return run_program(
+            self.topology, self.capacity_bits, programs, self.max_rounds
         )
 
 

@@ -1,12 +1,15 @@
 """Distributed protocols: the paper's upper bounds, executable."""
 
+from .compiler import compile_round_programs
 from .faq_protocol import (
+    ENGINES,
     FAQProtocolReport,
     ProtocolPlan,
     StarPhase,
     compile_plan,
     default_value_bits,
     run_distributed_faq,
+    validate_engine,
 )
 from .mcm import (
     MCMReport,
@@ -66,8 +69,11 @@ __all__ = [
     "ProtocolPlan",
     "FAQProtocolReport",
     "compile_plan",
+    "compile_round_programs",
     "default_value_bits",
     "run_distributed_faq",
+    "ENGINES",
+    "validate_engine",
     "MCMReport",
     "mcm_line",
     "run_mcm_sequential",

@@ -1,0 +1,618 @@
+"""The protocol control plane: ProtocolPlan -> per-node RoundPrograms.
+
+This module is the compiled engine's counterpart of
+:func:`repro.protocols.faq_protocol._make_player`.  Where the generator
+engine interleaves scheduling and data movement inside one generator per
+node, the compiler splits the two:
+
+* **Control plane** — :func:`compile_round_programs` turns the static
+  parts of a :class:`~repro.protocols.faq_protocol.ProtocolPlan` (star
+  order, Steiner packings, routing tree, tag namespace, per-item bit
+  charges) into one :class:`~repro.network.program.NodeProgram` per
+  node: a schedule of typed ops (scatter BROADCAST, SCORE, ⊗-CONVERGECAST,
+  final ROUTE) that the block engine executes in lockstep.  Everything
+  that *can* be decided up front is; only data-dependent counts (relation
+  sizes shrink as stars rebuild their centers) stay runtime-configured,
+  exactly as the generator engine's self-timed headers do.
+
+* **Data plane** — broadcast rows are dictionary-encoded once into a
+  shared :class:`~repro.semiring.columnar.WireBlock` (the wire codec
+  charges ``tuple_bits`` per row, identical to the generator's per-tuple
+  messages); Phase B scores whole blocks with vectorized column kernels
+  when the semiring has a vector profile (falling back to the shared
+  dict scorer otherwise); convergecast values are folded over each
+  Steiner tree in the generator's exact association order, vectorized
+  when safe.  Integer (COUNTING) folds pre-check int64 overflow and drop
+  to exact Python arithmetic, mirroring the columnar operator kernels.
+
+Engine parity — identical answers, identical round counts, identical
+total/per-edge bits — is asserted end-to-end by ``tests/test_program.py``
+over every Table 1 suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.program import (
+    BroadcastOp,
+    ComputeStep,
+    ConvergecastOp,
+    NodeProgram,
+    ParallelOps,
+    RouteOp,
+    chunk_pattern,
+)
+from ..network.steiner import SteinerTree
+from ..network.topology import Topology
+from ..semiring import (
+    BACKEND_COLUMNAR,
+    ColumnarFactor,
+    Factor,
+    VECTOR_PROFILES,
+    WireBlock,
+    supports_columnar,
+    to_backend,
+)
+from ..semiring.columnar import _INT64_MAX, _composite_key, _merge_dictionaries
+from ..faq.operations import project as dict_project
+from .faq_protocol import (
+    ProtocolPlan,
+    StarPhase,
+    _finish_locally,
+    _score_rows,
+    _star_contributions,
+)
+
+#: Semirings whose ⊕ is order-insensitive at machine precision (boolean
+#: or, exact int64 add, float min/max).  REAL's float ``+`` is excluded:
+#: re-associating sums could drift from the dict scorer's fold order, and
+#: the parity contract is *byte*-identical answers.
+_EXACT_ADD = frozenset({"boolean", "counting", "min-plus", "max-plus", "max-times"})
+
+
+# ---------------------------------------------------------------------------
+# Value-plane helpers: vectorize when safe, stay exact otherwise
+# ---------------------------------------------------------------------------
+
+
+def _profile_of(semiring):
+    return VECTOR_PROFILES[semiring.name] if supports_columnar(semiring) else None
+
+
+def _mul_values(semiring, profile, a, b):
+    """Elementwise ⊗ of two slot vectors, matching the generator's ops.
+
+    Vectorized when both sides are arrays and an integer profile cannot
+    overflow; otherwise an exact Python fold (unbounded ints).  The
+    per-slot operand order is preserved, so even float ⊗ chains agree
+    bit for bit with the generator engine.
+    """
+    if (
+        profile is not None
+        and isinstance(a, np.ndarray)
+        and isinstance(b, np.ndarray)
+    ):
+        if np.issubdtype(profile.dtype, np.integer) and len(a) and len(b):
+            a_max = int(np.abs(a).max())
+            b_max = int(np.abs(b).max())
+            if a_max and b_max and a_max > _INT64_MAX // b_max:
+                return [
+                    semiring.mul(x, y) for x, y in zip(a.tolist(), b.tolist())
+                ]
+        return profile.mul(a, b)
+    left = a.tolist() if isinstance(a, np.ndarray) else a
+    right = b.tolist() if isinstance(b, np.ndarray) else b
+    return [semiring.mul(x, y) for x, y in zip(left, right)]
+
+
+def _identity_vector(semiring, profile, length: int):
+    if profile is not None:
+        return np.full(length, semiring.one, dtype=profile.dtype)
+    return [semiring.one] * length
+
+
+def fold_tree_slots(
+    tree: SteinerTree,
+    slots_by_node: Dict[str, Any],
+    start: int,
+    stop: int,
+    vec_mul: Callable[[Any, Any], Any],
+    identity_fn: Callable[[int], Any],
+):
+    """Combine the packing tree's slot contributions, root association.
+
+    Replicates the convergecast's value flow without its timing: each
+    node's value is its own slots (identity when it contributed none)
+    combined with its children's folded values in sorted-child order —
+    the exact association the generator's pipelined combine produces.
+
+    Args:
+        vec_mul: Elementwise slot-vector combiner (e.g. the semiring ⊗).
+        identity_fn: length -> identity slot vector.
+    """
+    parents = tree.parent_map()
+    children: Dict[str, List[str]] = {n: [] for n in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children[parent].append(node)
+    length = stop - start
+
+    def value_of(node: str):
+        own = slots_by_node.get(node)
+        acc = own[start:stop] if own is not None else identity_fn(length)
+        for child in sorted(children.get(node, ())):
+            acc = vec_mul(acc, value_of(child))
+        return acc
+
+    return value_of(tree.root)
+
+
+def _align_join_columns(
+    wire_dict: List[Any],
+    wire_codes: np.ndarray,
+    factor_dict: List[Any],
+    factor_codes: np.ndarray,
+    array_cache: Optional[Dict[int, np.ndarray]] = None,
+):
+    """Map two dictionary-coded columns into one shared code space.
+
+    Shared dictionaries (zero-copy columnar wire blocks) need no work at
+    all.  The fast path for numeric dictionaries translates codes to
+    their actual values and shifts into a dense non-negative range —
+    pure array arithmetic, no Python-level dictionary merge.  Falls back
+    to :func:`_merge_dictionaries` (generic hashable values) otherwise.
+
+    Returns:
+        ``(wire_column, factor_column, cardinality)`` where equal entries
+        mean equal underlying domain values.
+    """
+    if wire_dict is factor_dict:
+        return wire_codes, factor_codes, len(wire_dict)
+
+    def as_array(d: List[Any]) -> np.ndarray:
+        if array_cache is None:
+            return np.asarray(d)
+        arr = array_cache.get(id(d))
+        if arr is None:
+            arr = array_cache[id(d)] = np.asarray(d)
+        return arr
+
+    try:
+        wire_vals = as_array(wire_dict)
+        factor_vals = as_array(factor_dict)
+        if (
+            wire_vals.ndim == 1
+            and factor_vals.ndim == 1
+            and wire_vals.dtype.kind in "iub"
+            and factor_vals.dtype.kind in "iub"
+        ):
+            lows = [int(a.min()) for a in (wire_vals, factor_vals) if len(a)]
+            highs = [int(a.max()) for a in (wire_vals, factor_vals) if len(a)]
+            low = min(lows) if lows else 0
+            high = max(highs) if highs else 0
+            card = high - low + 1
+            if 0 < card <= 2 ** 40:
+                wire_col = wire_vals.astype(np.int64)[wire_codes] - low
+                factor_col = factor_vals.astype(np.int64)[factor_codes] - low
+                return wire_col, factor_col, card
+    except (TypeError, ValueError, OverflowError):
+        # e.g. uint64 dictionaries whose values exceed int64 — fall back
+        # to the generic merge below.
+        pass
+    merged, remap = _merge_dictionaries(wire_dict, factor_dict)
+    return wire_codes, remap[factor_codes], len(merged)
+
+
+def _vector_scores(
+    semiring, schema: Sequence[str], contributions: Sequence[Factor],
+    wire: WireBlock,
+) -> Optional[np.ndarray]:
+    """Phase B, vectorized: score every broadcast row in one pass.
+
+    The columnar analogue of ``_score_rows``: each contribution is joined
+    to the wire block on its shared columns via merged dictionaries +
+    composite-key ``searchsorted`` (missing rows score the semiring
+    zero), then ⊗-multiplied into the slot vector.  Returns ``None``
+    whenever exactness cannot be guaranteed — no vector profile, int64
+    overflow risk, composite-key overflow, or an order-sensitive float ⊕
+    in a projection — and the caller falls back to the dict scorer.
+    """
+    profile = _profile_of(semiring)
+    if profile is None:
+        return None
+    n = len(wire)
+    schema_index = wire.schema_index
+    slots = np.full(n, semiring.one, dtype=profile.dtype)
+    integer = np.issubdtype(profile.dtype, np.integer)
+    array_cache: Dict[int, np.ndarray] = {}
+    for factor in contributions:
+        try:
+            cf = ColumnarFactor.from_factor(factor)
+        except (ValueError, OverflowError):
+            return None
+        proj_vars = [v for v in cf.schema if v in schema_index]
+        if len(proj_vars) < len(cf.schema):
+            # Projection must ⊕-combine colliding rows; only do it
+            # vectorized when ⊕ is order-insensitive.
+            if semiring.name not in _EXACT_ADD:
+                return None
+            projected = dict_project(cf, proj_vars)
+            if not isinstance(projected, ColumnarFactor):
+                try:
+                    projected = ColumnarFactor.from_factor(projected)
+                except (ValueError, OverflowError):
+                    return None
+            cf = projected
+            proj_vars = [v for v in cf.schema if v in schema_index]
+        wire_cols, factor_cols, cards = [], [], []
+        for v in proj_vars:
+            fi = cf.column_index(v)
+            bi = schema_index[v]
+            wire_col, factor_col, card = _align_join_columns(
+                wire.dictionaries[bi], wire.codes[bi],
+                cf.dictionaries[fi], cf.codes[fi], array_cache,
+            )
+            wire_cols.append(wire_col)
+            factor_cols.append(factor_col)
+            cards.append(card)
+        wire_key = _composite_key(wire_cols, cards, n)
+        factor_key = _composite_key(factor_cols, cards, len(cf))
+        if wire_key is None or factor_key is None:
+            return None
+        values = np.full(n, semiring.zero, dtype=profile.dtype)
+        if len(factor_key):
+            order = np.argsort(factor_key)
+            sorted_key = factor_key[order]
+            pos = np.minimum(
+                np.searchsorted(sorted_key, wire_key), len(sorted_key) - 1
+            )
+            found = sorted_key[pos] == wire_key
+            if found.any():
+                values[found] = cf.values[order[pos[found]]]
+        if integer and n:
+            s_max = int(np.abs(slots).max())
+            v_max = int(np.abs(values).max())
+            if s_max and v_max and s_max > _INT64_MAX // v_max:
+                return None
+        slots = profile.mul(slots, values)
+    return slots
+
+
+# ---------------------------------------------------------------------------
+# Shared per-phase runtime state
+# ---------------------------------------------------------------------------
+
+
+class StarRuntime:
+    """Data-plane state one star phase shares across its participants.
+
+    In-process stand-in for "every participant eventually holds the
+    broadcast block / its subtree's scores": ops still gate every read
+    behind the block engine's count arithmetic, so nothing is consumed
+    before its bits have been charged.
+    """
+
+    def __init__(self, plan: ProtocolPlan, star: StarPhase) -> None:
+        self.plan = plan
+        self.star = star
+        self.wire: Optional[WireBlock] = None
+        self.ranges: Optional[List[Tuple[int, int]]] = None
+        self._rows: Optional[List[Tuple]] = None
+        self.slots: Dict[str, Any] = {}
+
+    def ensure_items(self, state: Dict[str, Factor]) -> None:
+        """Encode the center relation once, when the root starts scattering."""
+        if self.wire is not None:
+            return
+        factor = state[self.star.center_edge]
+        if isinstance(factor, ColumnarFactor):
+            # Already columnar: the wire block shares the code arrays and
+            # dictionaries (annotations stay local — the scatter ships
+            # rows only, at tuple_bits each, like the generator).
+            self.wire = WireBlock(
+                factor.schema, factor.codes, factor.dictionaries
+            )
+        else:
+            self.wire = WireBlock.encode_rows(
+                self.star.center_schema, factor.tuples()
+            )
+        self.ranges = self.star.slot_plan.slice_ranges(len(self.wire))
+
+    def tree_count(self, j: int) -> int:
+        start, stop = self.ranges[j]
+        return stop - start
+
+    def rows(self) -> List[Tuple]:
+        """Decoded broadcast rows (dict-plane fallback, cached)."""
+        if self._rows is None:
+            self._rows = self.wire.decode_rows()
+        return self._rows
+
+    def combined_at_root(self):
+        """The ⊗-convergecast result, reassembled across the packing."""
+        semiring = self.plan.query.semiring
+        profile = _profile_of(semiring)
+        vec_mul = lambda a, b: _mul_values(semiring, profile, a, b)
+        identity_fn = lambda length: _identity_vector(semiring, profile, length)
+        per_tree = []
+        for j, tree in enumerate(self.star.slot_plan.trees):
+            start, stop = self.ranges[j]
+            per_tree.append(
+                fold_tree_slots(
+                    tree, self.slots, start, stop, vec_mul, identity_fn
+                )
+            )
+        if all(isinstance(v, np.ndarray) for v in per_tree):
+            return (
+                np.concatenate(per_tree) if per_tree
+                else _identity_vector(semiring, profile, 0)
+            )
+        out: List[Any] = []
+        for v in per_tree:
+            out.extend(v.tolist() if isinstance(v, np.ndarray) else v)
+        return out
+
+
+class FinalRuntime:
+    """Payload side-channel of the final routing phase.
+
+    Chunk timing and every bit still travel through the block engine;
+    only the payload *content* — which is timing-independent (the sink
+    keys received tuples by relation and row) — moves out of band.
+    """
+
+    def __init__(self) -> None:
+        self.payloads: Dict[str, List[Tuple[str, Tuple, Any]]] = {}
+
+    def register(self, node: str, items: List[Tuple[str, Tuple, Any]]) -> None:
+        self.payloads[node] = items
+
+    def collected(self) -> List[Tuple[str, Tuple, Any]]:
+        out: List[Tuple[str, Tuple, Any]] = []
+        for node in sorted(self.payloads):
+            out.extend(self.payloads[node])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Star phase compilation
+# ---------------------------------------------------------------------------
+
+
+def _compute_star_slots(
+    plan: ProtocolPlan,
+    star: StarPhase,
+    state: Dict[str, Factor],
+    node: str,
+    runtime: StarRuntime,
+):
+    """Phase B for one terminal: vectorized scorer, dict fallback."""
+    contributions = _star_contributions(plan, star, state, node)
+    if not contributions:
+        return None
+    scores = _vector_scores(
+        plan.query.semiring, star.center_schema, contributions, runtime.wire
+    )
+    if scores is not None:
+        return scores
+    return _score_rows(
+        plan.query.semiring, star.center_schema, contributions, runtime.rows()
+    )
+
+
+def _rebuild_center(
+    plan: ProtocolPlan, star: StarPhase, runtime: StarRuntime, combined
+) -> Factor:
+    """Phase D: the center's owner rebuilds its relation from the scores.
+
+    Same canonicalization as the generator path (zero annotations drop);
+    when the query's data plane is columnar and the scores stayed
+    vectorized, the rebuild is pure array slicing on the wire block.
+    """
+    query = plan.query
+    semiring = query.semiring
+    wire = runtime.wire
+    if (
+        isinstance(combined, np.ndarray)
+        and query.backend == BACKEND_COLUMNAR
+        and supports_columnar(semiring)
+    ):
+        profile = VECTOR_PROFILES[semiring.name]
+        zero = profile.is_zero_mask(combined)
+        if zero.any():
+            keep = ~zero
+            codes = [c[keep] for c in wire.codes]
+            values = combined[keep]
+        else:
+            codes = list(wire.codes)
+            values = combined
+        return ColumnarFactor._from_arrays(
+            star.center_schema, codes, list(wire.dictionaries), values,
+            semiring, star.center_edge,
+        )
+    values = combined.tolist() if isinstance(combined, np.ndarray) else combined
+    new_rows = {
+        tuple(row): values[i] for i, row in enumerate(runtime.rows())
+    }
+    rebuilt = Factor(star.center_schema, new_rows, semiring, star.center_edge)
+    if query.backend is not None:
+        rebuilt = to_backend(rebuilt, query.backend)
+    return rebuilt
+
+
+def _compile_star(
+    plan: ProtocolPlan,
+    star: StarPhase,
+    node: str,
+    state: Dict[str, Factor],
+    runtime: StarRuntime,
+) -> List:
+    """This node's schedule for one star phase (scatter, score, combine,
+    rebuild) — empty when the node is outside the star's packing."""
+    slot_plan = star.slot_plan
+    my_trees = slot_plan.trees_of(node)
+    if not my_trees:
+        return []
+    is_root = node == slot_plan.root
+    sid = star.star_id
+
+    scatter_ops: List[BroadcastOp] = []
+    cc_ops: List[ConvergecastOp] = []
+    for j in my_trees:
+        tree = slot_plan.trees[j]
+        parents = tree.parent_map()
+        parent = parents.get(node)
+        tree_children = sorted(n for n, p in parents.items() if p == node)
+        root_count_fn = None
+        if is_root:
+            def root_count_fn(j=j):
+                runtime.ensure_items(state)
+                return runtime.tree_count(j)
+
+        scatter_ops.append(
+            BroadcastOp(
+                f"s{sid}:bc:t{j}", parent, tree_children,
+                plan.tuple_bits, root_count_fn,
+            )
+        )
+        cc_ops.append(
+            ConvergecastOp(
+                f"s{sid}:cc:t{j}", parent, tree_children, plan.value_bits
+            )
+        )
+
+    def phase_b(ctx) -> None:
+        # Counts were learned from the scatter (headers on the wire, the
+        # shared block in process); they configure the convergecast.
+        for scatter_op, cc_op in zip(scatter_ops, cc_ops):
+            cc_op.configure(scatter_op.count)
+        if node in slot_plan.terminals:
+            slots = _compute_star_slots(plan, star, state, node, runtime)
+            if slots is not None:
+                runtime.slots[node] = slots
+
+    def phase_d(ctx) -> None:
+        if is_root:
+            combined = runtime.combined_at_root()
+            state[star.center_edge] = _rebuild_center(
+                plan, star, runtime, combined
+            )
+        for leaf_edge in star.leaf_edges:
+            state.pop(leaf_edge, None)
+
+    return [
+        ParallelOps(scatter_ops, label=f"s{sid}:scatter"),
+        ComputeStep(phase_b, label=f"s{sid}:score"),
+        ParallelOps(cc_ops, label=f"s{sid}:combine"),
+        ComputeStep(phase_d, label=f"s{sid}:rebuild"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Final (trivial-protocol) phase compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_final(
+    plan: ProtocolPlan,
+    node: str,
+    state: Dict[str, Factor],
+    runtime: FinalRuntime,
+) -> List:
+    """This node's schedule for the Lemma 3.1 routing + local finish."""
+    rparents = plan.routing_parents
+    items: List = []
+    if node in rparents:
+        children = sorted(n for n, p in rparents.items() if p == node)
+        item_bits = plan.tuple_bits + plan.value_bits
+
+        def packets_fn() -> List[Tuple[Tuple[int, ...], int]]:
+            payloads: List[Tuple[str, Tuple, Any]] = []
+            for name in plan.final_edges:
+                if (
+                    plan.assignment[name] == node
+                    and node != plan.output_player
+                ):
+                    factor = state.get(name, plan.query.factors[name])
+                    for row, value in factor:
+                        payloads.append((name, row, value))
+            runtime.register(node, payloads)
+            if not payloads:
+                return []
+            pattern = chunk_pattern(item_bits, plan.capacity_bits)
+            return [(pattern, len(payloads))]
+
+        items.append(
+            RouteOp("final", rparents.get(node), children, packets_fn)
+        )
+    if node == plan.output_player:
+        query = plan.query
+
+        def finish(ctx) -> Factor:
+            received: Dict[str, Dict[Tuple, Any]] = {
+                name: {} for name in plan.final_edges
+            }
+            for name, row, value in runtime.collected():
+                received[name][tuple(row)] = value
+            final_factors: Dict[str, Factor] = {}
+            for name in plan.final_edges:
+                if plan.assignment[name] == node:
+                    final_factors[name] = state.get(name, query.factors[name])
+                else:
+                    final_factors[name] = Factor(
+                        query.factors[name].schema, received[name],
+                        query.semiring, name,
+                    )
+            return _finish_locally(query, final_factors)
+
+        items.append(ComputeStep(finish, label="finish", is_output=True))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def compile_round_programs(
+    plan: ProtocolPlan, topology: Topology
+) -> Dict[str, NodeProgram]:
+    """Compile the full protocol into one :class:`NodeProgram` per node.
+
+    The programs replicate the generator players phase for phase: each
+    node runs its stars bottom-up (skipping stars whose packing it is
+    not part of — the self-timed overlap the Mailbox enables is
+    preserved, nodes simply progress independently), then the final
+    routing toward the output player, who finishes the residual query
+    with free local computation.
+    """
+    query = plan.query
+    states: Dict[str, Dict[str, Factor]] = {
+        node: {
+            name: query.factors[name]
+            for name, owner in plan.assignment.items()
+            if owner == node
+        }
+        for node in topology.nodes
+    }
+    star_runtimes = {
+        star.star_id: StarRuntime(plan, star) for star in plan.stars
+    }
+    final_runtime = FinalRuntime()
+
+    programs: Dict[str, NodeProgram] = {}
+    for node in topology.nodes:
+        items: List = []
+        for star in plan.stars:
+            items.extend(
+                _compile_star(
+                    plan, star, node, states[node],
+                    star_runtimes[star.star_id],
+                )
+            )
+        items.extend(_compile_final(plan, node, states[node], final_runtime))
+        programs[node] = NodeProgram(node, items)
+    return programs

@@ -273,23 +273,20 @@ def compile_plan(
     )
 
 
-def _compute_slots(
+def _star_contributions(
     plan: ProtocolPlan,
     star: StarPhase,
     state: Dict[str, Factor],
     node: str,
-    rows: Sequence[Tuple],
-) -> Optional[List[Any]]:
-    """Phase B of Algorithm 3: this player's per-tuple contributions.
+) -> List[Factor]:
+    """The factors this player scores broadcast tuples against.
 
-    The center's owner contributes its own annotation ``f(t)``; each leaf
-    owner contributes its pushed-down message evaluated at the matching
-    projection of ``t``; a player holding several star relations multiplies
-    its contributions (the paper exploits |K| < k, Section 2.2.1).
-    Returns None when this player holds none of the star's relations.
+    The center's owner contributes its own relation; each leaf owner
+    contributes its pushed-down message (Corollary G.2); a player holding
+    several star relations contributes all of them (the paper exploits
+    |K| < k, Section 2.2.1).  Shared by both protocol engines so Phase B
+    semantics cannot drift between them.
     """
-    query = plan.query
-    semiring = query.semiring
     contributions: List[Factor] = []
     center_owner = plan.assignment[star.center_edge]
     if node == center_owner and star.center_edge in state:
@@ -297,13 +294,19 @@ def _compute_slots(
     keep = set(plan.ghd.nodes[star.center_node].chi)
     for leaf_edge in star.leaf_edges:
         if plan.assignment[leaf_edge] == node and leaf_edge in state:
-            message = upward_pass_message(query, state[leaf_edge], keep)
+            message = upward_pass_message(plan.query, state[leaf_edge], keep)
             contributions.append(message)
-    if not contributions:
-        return None
+    return contributions
 
+
+def _score_rows(
+    semiring,
+    schema: Sequence[str],
+    contributions: Sequence[Factor],
+    rows: Sequence[Tuple],
+) -> List[Any]:
+    """The dict-plane scorer: ⊗ of per-contribution lookups per row."""
     slots: List[Any] = [semiring.one] * len(rows)
-    schema = star.center_schema
     schema_index = {v: i for i, v in enumerate(schema)}
     for factor in contributions:
         proj = [schema_index[v] for v in factor.schema if v in schema_index]
@@ -322,6 +325,23 @@ def _compute_slots(
             value = lookup.get(key, semiring.zero)
             slots[i] = semiring.mul(slots[i], value)
     return slots
+
+
+def _compute_slots(
+    plan: ProtocolPlan,
+    star: StarPhase,
+    state: Dict[str, Factor],
+    node: str,
+    rows: Sequence[Tuple],
+) -> Optional[List[Any]]:
+    """Phase B of Algorithm 3: this player's per-tuple contributions.
+
+    Returns None when this player holds none of the star's relations.
+    """
+    contributions = _star_contributions(plan, star, state, node)
+    if not contributions:
+        return None
+    return _score_rows(plan.query.semiring, star.center_schema, contributions, rows)
 
 
 def _make_player(plan: ProtocolPlan, node: str):
@@ -476,6 +496,22 @@ def _finish_locally(query: FAQQuery, factors: Dict[str, Factor]) -> Factor:
         return solve_naive(residual)
 
 
+#: The two protocol execution engines: ``"generator"`` is the reference
+#: per-node-generator simulator; ``"compiled"`` is the block-granular
+#: RoundProgram fast path (see :mod:`repro.protocols.compiler`).  Both
+#: produce identical answers and identical round/bit accounting.
+ENGINES: Tuple[str, ...] = ("generator", "compiled")
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name, returning it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
 def run_distributed_faq(
     query: FAQQuery,
     topology: Topology,
@@ -484,22 +520,36 @@ def run_distributed_faq(
     ghd: Optional[GHD] = None,
     max_diameter: Optional[int] = None,
     max_rounds: int = 2_000_000,
+    engine: str = "generator",
 ) -> FAQProtocolReport:
     """Compile and run the distributed FAQ protocol on the simulator.
 
     This is the repository's headline entry point: the executable form of
     Theorems 4.1 / 5.1 / 5.2's upper bounds.
 
+    Args:
+        engine: ``"generator"`` steps one Python generator per node per
+            round (the reference engine); ``"compiled"`` compiles the
+            plan into per-node RoundPrograms and runs the block-granular
+            fast path.  Answers, round counts and bit accounting are
+            identical; only wall-clock differs.
+
     Returns:
         An :class:`FAQProtocolReport` with the answer factor and exact
         round/bit accounting.
     """
+    validate_engine(engine)
     plan = compile_plan(
         query, topology, assignment, output_player, ghd, max_diameter
     )
-    processes = {n: _make_player(plan, n) for n in topology.nodes}
     sim = Simulator(topology, plan.capacity_bits, max_rounds)
-    result = sim.run(processes)
+    if engine == "compiled":
+        from .compiler import compile_round_programs
+
+        result = sim.run_program(compile_round_programs(plan, topology))
+    else:
+        processes = {n: _make_player(plan, n) for n in topology.nodes}
+        result = sim.run(processes)
     answer = result.output_of(plan.output_player)
     if answer is None:
         raise RuntimeError("output player produced no answer (protocol bug)")

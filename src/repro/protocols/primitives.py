@@ -14,6 +14,13 @@ Every paper protocol decomposes into three reusable patterns:
 All primitives are *self-timed*: counts travel in headers, so no global
 barrier is ever needed and phases of different protocol steps can coexist,
 disambiguated by message tags.
+
+These generators are the **reference semantics**: each has a
+block-granular mirror in :mod:`repro.network.program`
+(``BroadcastOp`` / ``ConvergecastOp`` / ``RouteOp`` / ``ParallelOps``)
+that must replicate its per-round decisions bit for bit — change one and
+you must change the other (the engine-parity tests in
+``tests/test_program.py`` will catch a drift).
 """
 
 from __future__ import annotations

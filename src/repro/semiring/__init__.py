@@ -12,7 +12,7 @@ from .backend import (
     to_backend,
     validate_backend,
 )
-from .columnar import ColumnarFactor
+from .columnar import ColumnarFactor, WireBlock, encode_wire_block
 from .factor import Factor
 from .semirings import (
     BOOLEAN,
@@ -31,6 +31,8 @@ from .semirings import (
 __all__ = [
     "Factor",
     "ColumnarFactor",
+    "WireBlock",
+    "encode_wire_block",
     "Semiring",
     "BOOLEAN",
     "COUNTING",

@@ -121,7 +121,7 @@ def test_spec_hash_pinned():
         query_params={"edges": 3}, topology_params={"n": 3},
     )
     assert spec.content_hash() == (
-        "2f335139d4f6c9b87a35e86b3d4291e4ba0ea6aafa08cd6c1fe2b19c98e3a62c"
+        "59b25938cffe0b198d2c7bdaa6e442c9692d0d80dd31d0669a361a49d55a74df"
     )
 
 
@@ -418,3 +418,121 @@ def test_cli_run_and_list(tmp_path, capsys):
 
     assert lab_main(["list"]) == 0
     assert "test-tiny" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Engine axis + parity tooling
+# ---------------------------------------------------------------------------
+
+
+def test_spec_engine_axis_validated_and_hashed():
+    assert tiny_spec().engine == "generator"
+    compiled = tiny_spec(engine="compiled")
+    assert compiled.content_hash() != tiny_spec().content_hash()
+    assert "compiled" in compiled.label
+    with pytest.raises(ValueError, match="engine"):
+        tiny_spec(engine="warp")
+
+
+def test_with_engines_pairs_every_scenario():
+    from repro.lab.suites import with_engines
+
+    paired = with_engines(tiny_suite(), "paired", "desc")
+    assert len(paired) == 2 * len(tiny_suite())
+    engines = [s.engine for s in paired.scenarios]
+    assert engines[:2] == ["generator", "compiled"]
+    # pairs are adjacent and otherwise identical
+    assert paired.scenarios[0].with_(engine="compiled") == paired.scenarios[1]
+
+
+def test_engine_suites_registered():
+    names = suite_names()
+    assert "engine-compare" in names
+    assert "engine-smoke" in names
+    compare = get_suite("engine-compare")
+    assert len(compare) == 2 * len(get_suite("table1"))
+
+
+def test_execute_scenario_records_bits_and_engine_parity():
+    gen = execute_scenario(tiny_spec())
+    comp = execute_scenario(tiny_spec(engine="compiled"))
+    assert gen.total_bits > 0
+    assert 0.0 < gen.link_utilization <= 1.0
+    assert comp.answer_digest == gen.answer_digest
+    assert comp.measured_rounds == gen.measured_rounds
+    assert comp.total_bits == gen.total_bits
+    assert comp.link_utilization == gen.link_utilization
+
+
+def test_parity_failures_detect_mismatch():
+    from repro.lab.report import parity_failures
+
+    gen = execute_scenario(tiny_spec()).deterministic_record()
+    comp = execute_scenario(tiny_spec(engine="compiled")).deterministic_record()
+    assert parity_failures([gen, comp]) == []
+    tampered = dict(comp)
+    tampered["total_bits"] = comp["total_bits"] + 1
+    failures = parity_failures([gen, tampered])
+    assert len(failures) == 1 and "total_bits" in failures[0]
+
+
+def test_artifact_timings_key_is_opt_in(tmp_path):
+    from repro.lab.report import artifact_payload
+    from repro.lab.suites import with_engines
+
+    suite = with_engines(tiny_suite("timed"), "timed", "desc")
+    run = run_suite(suite)
+    assert "timings" not in artifact_payload(run)
+    payload = artifact_payload(run, timings=True)
+    assert len(payload["timings"]["engine_pairs"]) == len(tiny_suite())
+    pair = payload["timings"]["engine_pairs"][0]
+    assert pair["generator_protocol_s"] > 0
+    assert pair["compiled_protocol_s"] > 0
+    assert payload["timings"]["headline"]["rows"] >= 1
+
+
+def test_cli_parity_command(tmp_path, capsys):
+    register_suite(
+        "cli-parity-suite",
+        lambda: SuiteSpec(
+            name="cli-parity-suite",
+            scenarios=(tiny_spec(), tiny_spec(engine="compiled")),
+        ),
+        overwrite=True,
+    )
+    out = str(tmp_path)
+    code = lab_main(
+        ["run", "cli-parity-suite", "--out", out, "--no-cache", "--quiet"]
+    )
+    assert code == 0
+    artifact = os.path.join(out, ARTIFACT_FILENAME)
+    assert lab_main(["parity", artifact]) == 0
+    captured = capsys.readouterr().out
+    assert "engine parity OK" in captured
+
+    # Tamper with the artifact: parity must fail loudly.
+    payload = json.load(open(artifact))
+    payload["scenarios"][0]["measured_rounds"] += 1
+    with open(artifact, "w") as fh:
+        json.dump(payload, fh)
+    assert lab_main(["parity", artifact]) == 1
+
+
+def test_cli_engine_override(tmp_path, capsys):
+    register_suite(
+        "cli-engine-suite",
+        lambda: SuiteSpec(name="cli-engine-suite", scenarios=(tiny_spec(),)),
+        overwrite=True,
+    )
+    out = str(tmp_path)
+    code = lab_main(
+        [
+            "run", "cli-engine-suite", "--engine", "both", "--timings",
+            "--out", out, "--no-cache", "--quiet",
+        ]
+    )
+    assert code == 0
+    payload = json.load(open(os.path.join(out, ARTIFACT_FILENAME)))
+    engines = [s["spec"]["engine"] for s in payload["scenarios"]]
+    assert engines == ["generator", "compiled"]
+    assert "timings" in payload

@@ -324,3 +324,67 @@ def test_mailbox_separates_tags_and_sources():
 
     res = run_on(g, 8, {"P0": p0, "P1": p1, "P2": p2})
     assert res.output_of("P1") is True
+
+
+# ---------------------------------------------------------------------------
+# chunk_packets / strip_continuations property tests
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def payload_lists(draw):
+    capacity = draw(st.integers(1, 64))
+    payloads = draw(
+        st.lists(
+            st.tuples(st.integers(1, 200), st.integers()),
+            max_size=30,
+        )
+    )
+    return payloads, capacity
+
+
+@given(payload_lists())
+@settings(max_examples=150, deadline=None)
+def test_chunk_packets_roundtrip_properties(case):
+    """Every chunk fits the capacity, every bit is conserved, and
+    stripping continuations recovers the payloads in order."""
+    payloads, capacity = case
+    chunks = chunk_packets(payloads, capacity)
+    assert all(1 <= bits <= capacity for bits, _ in chunks)
+    assert sum(bits for bits, _ in chunks) == sum(b for b, _ in payloads)
+    recovered = strip_continuations([data for _, data in chunks])
+    assert recovered == [data for _, data in payloads]
+
+
+@given(st.integers(1, 100))
+@settings(max_examples=50, deadline=None)
+def test_chunk_packets_capacity_one(bits):
+    """Capacity 1: one head chunk + (bits - 1) one-bit fillers."""
+    chunks = chunk_packets([(bits, "payload")], 1)
+    assert len(chunks) == bits
+    assert all(b == 1 for b, _ in chunks)
+    assert chunks[0][1] == "payload"
+    assert all(data == ("cont",) for _, data in chunks[1:])
+
+
+@given(st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_chunk_packets_payload_exactly_capacity(capacity):
+    """A payload of exactly the capacity travels as one chunk."""
+    chunks = chunk_packets([(capacity, "exact")], capacity)
+    assert chunks == [(capacity, "exact")]
+
+
+@given(payload_lists())
+@settings(max_examples=100, deadline=None)
+def test_chunk_pattern_agrees_with_chunk_packets(case):
+    """The compiled engine's per-item pattern is chunk_packets itemwise."""
+    from repro.network.program import chunk_pattern
+
+    payloads, capacity = case
+    for bits, _ in payloads:
+        expected = [b for b, _ in chunk_packets([(bits, None)], capacity)]
+        assert list(chunk_pattern(bits, capacity)) == expected

@@ -1,0 +1,336 @@
+"""Two-plane engine tests: compiled RoundPrograms vs the generator engine.
+
+The parity contract is exact, not approximate: for every scenario, the
+compiled engine must produce byte-identical answers AND identical round
+counts, total bits, per-(directed-)edge bits, busiest-link loads and
+message counts.  The headline test sweeps every Table 1 suite — the
+acceptance gate of the two-plane refactor.
+"""
+
+import pytest
+
+from repro.core.planner import Planner, assign_round_robin
+from repro.lab.runner import build_assignment, build_query, build_topology
+from repro.lab.spec import ScenarioSpec
+from repro.lab.suites import get_suite
+from repro.network import Topology
+from repro.network.program import (
+    ComputeStep,
+    ConvergecastOp,
+    NodeProgram,
+    chunk_pattern,
+    run_program,
+)
+from repro.network.simulator import SimulationError, Simulator
+from repro.protocols import (
+    compile_plan,
+    compile_round_programs,
+    route_all_to_sink,
+    run_distributed_faq,
+    run_set_intersection,
+    validate_engine,
+)
+from repro.protocols.faq_protocol import _make_player
+
+DEFAULT_SEED = 20190625
+
+
+def _run_both(spec: ScenarioSpec):
+    """Run one scenario's protocol on both engines."""
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology) or assign_round_robin(
+        built.query, topology
+    )
+    query = (
+        built.query.with_backend(spec.backend) if spec.backend else built.query
+    )
+    gen = run_distributed_faq(query, topology, assignment, engine="generator")
+    comp = run_distributed_faq(query, topology, assignment, engine="compiled")
+    return gen, comp
+
+
+def _assert_parity(gen, comp, label=""):
+    assert comp.answer == gen.answer, f"{label}: answers differ"
+    assert comp.rounds == gen.rounds, f"{label}: rounds differ"
+    assert comp.total_bits == gen.total_bits, f"{label}: total bits differ"
+    sim_g, sim_c = gen.simulation, comp.simulation
+    assert sim_c.total_messages == sim_g.total_messages, label
+    assert sim_c.edge_bits == sim_g.edge_bits, label
+    assert sim_c.bits_per_edge == sim_g.bits_per_edge, label
+    assert sim_c.max_edge_bits_per_round == sim_g.max_edge_bits_per_round, label
+    assert sim_c.max_inflight_round == sim_g.max_inflight_round, label
+
+
+def _table1_specs():
+    return [
+        spec.with_(engine="generator") for spec in get_suite("table1").scenarios
+    ]
+
+
+@pytest.mark.parametrize(
+    "spec", _table1_specs(), ids=lambda s: s.label.split("/s")[0]
+)
+def test_engine_parity_on_every_table1_scenario(spec):
+    """The acceptance gate: byte-identical answers and accounting on the
+    full Table 1 sweep."""
+    gen, comp = _run_both(spec)
+    _assert_parity(gen, comp, spec.label)
+
+
+@pytest.mark.parametrize("backend", [None, "columnar"])
+def test_engine_parity_on_columnar_streaming_scenario(backend):
+    spec = ScenarioSpec(
+        family="scaling-xl", query="hard-star", query_params={"arms": 4},
+        topology="line", topology_params={"n": 4}, n=512,
+        assignment="worst-case", backend=backend, seed=DEFAULT_SEED,
+    )
+    gen, comp = _run_both(spec)
+    _assert_parity(gen, comp, spec.label)
+
+
+@pytest.mark.parametrize(
+    "semiring", ["real", "min-plus", "max-plus", "max-times", "counting"]
+)
+def test_engine_parity_across_semirings(semiring):
+    """Float semirings too: the compiled value plane replicates the
+    generator's operand order, so even IEEE results agree exactly."""
+    spec = ScenarioSpec(
+        family="semiring", query="tree", query_params={"edges": 5},
+        topology="grid", topology_params={"rows": 2, "cols": 3},
+        n=32, domain_size=12, semiring=semiring, seed=7,
+    )
+    gen, comp = _run_both(spec)
+    _assert_parity(gen, comp, spec.label)
+
+
+def test_engine_parity_with_relayed_final_phase():
+    """A topology where final-phase routing crosses relays (the chunked
+    head/continuation pattern exercises the RouteOp queue)."""
+    spec = ScenarioSpec(
+        family="relay", query="tree", query_params={"edges": 5},
+        topology="barbell", topology_params={"clique_size": 3, "path_len": 1},
+        n=48, domain_size=24, semiring="counting", seed=DEFAULT_SEED,
+    )
+    gen, comp = _run_both(spec)
+    _assert_parity(gen, comp, spec.label)
+
+
+def test_fast_forward_is_accounting_neutral():
+    """Cycle jumps change wall-clock only: stepping every round must give
+    byte-identical results."""
+    spec = ScenarioSpec(
+        family="ffwd", query="hard-star", query_params={"arms": 4},
+        topology="line", topology_params={"n": 4}, n=256,
+        assignment="worst-case", seed=DEFAULT_SEED,
+    )
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    plan = compile_plan(built.query, topology, assignment)
+    fast = run_program(
+        topology, plan.capacity_bits,
+        compile_round_programs(plan, topology), fast_forward=True,
+    )
+    slow = run_program(
+        topology, plan.capacity_bits,
+        compile_round_programs(plan, topology), fast_forward=False,
+    )
+    assert fast.rounds == slow.rounds
+    assert fast.total_bits == slow.total_bits
+    assert fast.total_messages == slow.total_messages
+    assert fast.edge_bits == slow.edge_bits
+    assert fast.bits_per_edge == slow.bits_per_edge
+    assert fast.max_edge_bits_per_round == slow.max_edge_bits_per_round
+    assert (
+        fast.output_of(plan.output_player) == slow.output_of(plan.output_player)
+    )
+
+
+def test_engine_parity_planner_reports():
+    """Planner(engine=...) reports identical rounds/bits/link stats."""
+    spec = ScenarioSpec(
+        family="planner", query="degenerate",
+        query_params={"vertices": 5, "d": 2}, topology="clique",
+        topology_params={"n": 4}, n=32, domain_size=32, seed=DEFAULT_SEED,
+    )
+    built = build_query(spec)
+    topology = build_topology(spec)
+    reports = {}
+    for engine in ("generator", "compiled"):
+        planner = Planner(built.query, topology, engine=engine)
+        reports[engine] = planner.execute()
+    gen, comp = reports["generator"], reports["compiled"]
+    assert comp.answer == gen.answer
+    assert comp.correct and gen.correct
+    assert comp.measured_rounds == gen.measured_rounds
+    assert comp.total_bits == gen.total_bits
+    assert comp.link_utilization == gen.link_utilization
+    assert 0.0 < comp.link_utilization <= 1.0
+
+
+def test_validate_engine_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown engine"):
+        validate_engine("turbo")
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_distributed_faq(None, None, None, engine="turbo")
+
+
+# ---------------------------------------------------------------------------
+# Compiled paths of the other protocols
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "topology",
+    [Topology.clique(5), Topology.line(5), Topology.grid(2, 3),
+     Topology.hypercube(3)],
+    ids=lambda t: t.name,
+)
+def test_set_intersection_engine_parity(topology):
+    import random
+
+    rng = random.Random(11)
+    n = 48
+    players = topology.nodes[:3]
+    vectors = {p: [rng.random() < 0.6 for _ in range(n)] for p in players}
+    out = players[0]
+    ans_g, sim_g = run_set_intersection(topology, vectors, out, engine="generator")
+    ans_c, sim_c = run_set_intersection(topology, vectors, out, engine="compiled")
+    assert ans_c == ans_g
+    assert sim_c.rounds == sim_g.rounds
+    assert sim_c.total_bits == sim_g.total_bits
+    assert sim_c.total_messages == sim_g.total_messages
+    assert sim_c.edge_bits == sim_g.edge_bits
+
+
+def test_route_all_to_sink_engine_parity():
+    import random
+
+    rng = random.Random(5)
+    topology = Topology.grid(2, 3)
+    holdings = {
+        node: [(rng.choice([8, 40]), (node, i)) for i in range(rng.randint(0, 9))]
+        for node in topology.nodes
+    }
+    got_g, sim_g = route_all_to_sink(topology, holdings, topology.nodes[0], 16)
+    got_c, sim_c = route_all_to_sink(
+        topology, holdings, topology.nodes[0], 16, engine="compiled"
+    )
+    # The compiled engine collects in origin order, not arrival order —
+    # the multiset and every accounting figure are identical.
+    assert sorted(map(repr, got_c)) == sorted(map(repr, got_g))
+    assert sim_c.rounds == sim_g.rounds
+    assert sim_c.total_bits == sim_g.total_bits
+    assert sim_c.total_messages == sim_g.total_messages
+    assert sim_c.bits_per_edge == sim_g.bits_per_edge
+
+
+# ---------------------------------------------------------------------------
+# Engine internals
+# ---------------------------------------------------------------------------
+
+
+def test_chunk_pattern_matches_chunk_packets():
+    from repro.protocols.primitives import chunk_packets
+
+    for item_bits, capacity in [(1, 1), (5, 5), (7, 5), (33, 20), (21, 20)]:
+        expected = [b for b, _ in chunk_packets([(item_bits, "x")], capacity)]
+        assert list(chunk_pattern(item_bits, capacity)) == expected
+
+
+def test_compiled_deadlock_names_blocked_nodes():
+    """A convergecast waiting on a silent child deadlocks immediately,
+    and the error names the node, its program step and pending tags."""
+    topology = Topology.line(2)
+    op = ConvergecastOp("stuck", None, [topology.nodes[1]], per_slot=1)
+    op.configure(4)
+    programs = {
+        topology.nodes[0]: NodeProgram(topology.nodes[0], [op]),
+    }
+    with pytest.raises(SimulationError) as err:
+        run_program(topology, 8, programs, max_rounds=100)
+    assert topology.nodes[0] in err.value.blocked
+    assert "convergecast:stuck" in str(err.value)
+
+
+def test_program_output_via_compute_step():
+    topology = Topology.line(2)
+    programs = {
+        topology.nodes[0]: NodeProgram(
+            topology.nodes[0],
+            [ComputeStep(lambda ctx: "done", is_output=True)],
+        )
+    }
+    result = run_program(topology, 4, programs)
+    assert result.output_of(topology.nodes[0]) == "done"
+    assert result.rounds == 0
+    assert result.total_bits == 0
+
+
+def test_simulator_run_program_entry_point():
+    spec = ScenarioSpec(
+        family="entry", query="hard-star", query_params={"arms": 4},
+        topology="line", topology_params={"n": 4}, n=32,
+        assignment="worst-case", seed=DEFAULT_SEED,
+    )
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    plan = compile_plan(built.query, topology, assignment)
+    sim = Simulator(topology, plan.capacity_bits)
+    result = sim.run_program(compile_round_programs(plan, topology))
+    gen = sim.run({n: _make_player(plan, n) for n in topology.nodes})
+    assert result.rounds == gen.rounds
+    assert result.total_bits == gen.total_bits
+
+
+def test_align_join_columns_huge_int_domains_fall_back():
+    """Domain values beyond int64 must take the generic merge path, not
+    crash the vectorized scorer (review regression)."""
+    import numpy as np
+
+    from repro.protocols.compiler import _align_join_columns
+
+    wire_dict = [2 ** 63, 2 ** 63 + 1]
+    factor_dict = [2 ** 63, 2 ** 63 + 2]
+    wire_codes = np.array([0, 1, 0], dtype=np.int64)
+    factor_codes = np.array([1, 0], dtype=np.int64)
+    wire_col, factor_col, card = _align_join_columns(
+        wire_dict, wire_codes, factor_dict, factor_codes
+    )
+    # Codes comparing equal must mean equal domain values.
+    merged = {0: 2 ** 63, 1: 2 ** 63 + 1, 2: 2 ** 63 + 2}
+    assert [merged[c] for c in wire_col.tolist()] == [
+        wire_dict[c] for c in wire_codes.tolist()
+    ]
+    assert [merged[c] for c in factor_col.tolist()] == [
+        factor_dict[c] for c in factor_codes.tolist()
+    ]
+    assert card == 3
+
+
+def test_fast_forward_with_passive_receiver_does_not_crash():
+    """A steady stream toward a program-less (passive) node is dropped on
+    delivery in both engines; the cycle fast-forward must tolerate it
+    (review regression)."""
+    from repro.network.program import BroadcastOp
+
+    topology = Topology.line(2)
+    op = BroadcastOp(
+        "drop", None, [topology.nodes[1]], per_item=2,
+        root_count_fn=lambda: 500,
+    )
+    programs = {topology.nodes[0]: NodeProgram(topology.nodes[0], [op])}
+    result = run_program(topology, 8, programs, max_rounds=10_000)
+    slow = run_program(
+        topology, 8,
+        {topology.nodes[0]: NodeProgram(
+            topology.nodes[0],
+            [BroadcastOp("drop", None, [topology.nodes[1]], per_item=2,
+                         root_count_fn=lambda: 500)],
+        )},
+        max_rounds=10_000, fast_forward=False,
+    )
+    assert result.rounds == slow.rounds
+    assert result.total_bits == slow.total_bits == 32 + 500 * 2

@@ -234,3 +234,50 @@ def test_edge_bits_accounting():
     assert res.edge_bits[("P1", "P2")] == 5
     assert res.total_bits == 8
     assert res.total_messages == 2
+
+
+def test_directed_edge_bits_and_busiest_link():
+    g = Topology.line(3)
+
+    def p0(ctx):
+        ctx.send("P1", 6, "a")
+        ctx.send("P1", 2, "b")
+        yield
+        ctx.send("P1", 3, "c")
+
+    def p1(ctx):
+        while not ctx.inbox:
+            yield
+        ctx.send("P0", 5, "back")
+
+    res = run_protocol(g, {"P0": p0, "P1": p1}, capacity_bits=8)
+    # Directed accounting splits the two directions of an edge.
+    assert res.bits_per_edge[("P0", "P1")] == 11
+    assert res.bits_per_edge[("P1", "P0")] == 5
+    assert res.edge_bits[("P0", "P1")] == 16
+    # Busiest link-round: P0->P1 carried 8 bits in round 1.
+    assert res.max_edge_bits_per_round == 8
+    assert res.link_utilization(8) == 1.0
+
+
+def test_simulation_error_names_blocked_nodes_and_tags():
+    g = Topology.line(2)
+
+    def stuck(ctx):
+        while True:
+            ctx.send("P1", 1, None, tag="phase9:wait")
+            yield
+
+    def forever(ctx):
+        while True:
+            yield
+
+    with pytest.raises(SimulationError) as err:
+        run_protocol(
+            g, {"P0": stuck, "P1": forever}, capacity_bits=4, max_rounds=10
+        )
+    blocked = err.value.blocked
+    assert set(blocked) == {"P0", "P1"}
+    # P1's pending inbox names the tag it was ignoring.
+    assert blocked["P1"] == ["phase9:wait"]
+    assert "phase9:wait" in str(err.value)
