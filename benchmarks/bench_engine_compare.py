@@ -46,11 +46,12 @@ def test_engine_compare_scaling_suite():
     print("-" * len(header))
     for pair in timings["engine_pairs"]:
         speedup = pair["protocol_speedup"]
+        speedup_col = f"{speedup:>8.1f}" if speedup is not None else f"{'-':>8}"
         print(
             f"{pair['label'].split('/s2')[0][:58]:<58} {pair['rows']:>6} "
             f"{pair['generator_protocol_s'] * 1e3:>8.1f} "
             f"{pair['compiled_protocol_s'] * 1e3:>8.1f} "
-            f"{speedup:>8.1f}" if speedup is not None else "-"
+            + speedup_col
         )
     headline = timings["headline"]
     print(

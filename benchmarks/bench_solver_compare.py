@@ -1,0 +1,95 @@
+"""Solver comparison — operator-at-a-time vs compiled FAQ query plans.
+
+The compiled-solver layer lowers each FAQ into a cached
+:class:`~repro.faq.plan.QueryPlan` (fused join+marginalize kernels over
+pool-interned dictionaries) and executes it on
+:mod:`repro.faq.executor`.  This bench runs the lab's ``solver-scaling``
+suite on *both* solvers and regenerates the ``BENCH_lab.json`` timings
+trajectory, asserting the layer's two contracts:
+
+* **exact parity** — every operator/compiled pair agrees on the answer
+  digest, the round count and the total bit count (the lab's
+  ``parity_failures`` check over the solver axis: byte-identical answers,
+  and untouched protocol accounting since the solver only changes free
+  internal computation);
+* **speedup shape** — on the largest scaling scenario (the ``solver-xl``
+  hard-star row at N=32768 on the columnar data plane) the compiled
+  solver's reference-solve wall-clock is at least ``SPEEDUP_FLOOR`` times
+  faster (in practice 10-16x: shared dictionary interning deletes the
+  per-join Python dictionary merges and the fused kernels never
+  materialize a joined factor; the 5x floor keeps the assertion robust on
+  slow or noisy CI machines).
+
+A second pass over the suite must also be served entirely from the plan
+cache — the cross-scenario reuse a grid sweep relies on.
+"""
+
+import json
+
+from repro.faq import PLAN_CACHE
+from repro.lab import get_suite, run_suite
+from repro.lab.report import parity_failures, timings_payload
+from repro.lab.suites import with_solvers
+
+from conftest import print_banner
+
+SPEEDUP_FLOOR = 5.0
+
+
+def test_solver_compare_scaling_suite():
+    print_banner("FAQ solvers on the solver-scaling suite: operator vs compiled")
+    base = get_suite("solver-scaling")
+    suite = with_solvers(base, "solver-scaling", base.description)
+    PLAN_CACHE.clear()
+    run = run_suite(suite)  # no cache: wall times must be real
+    assert run.all_correct, "some scenario disagreed with the reference solver"
+
+    records = [r.deterministic_record() for r in run.results]
+    failures = parity_failures(records, "solver")
+    assert not failures, f"solver parity violated: {failures}"
+
+    first = PLAN_CACHE.stats
+    assert first.misses > 0
+    baseline_misses, lookups_before, hits_before = (
+        first.misses, first.lookups, first.hits
+    )
+    rerun = run_suite(suite)
+    assert rerun.all_correct
+    second = PLAN_CACHE.stats
+    assert second.misses == baseline_misses, (
+        "plan cache missed on the second sweep: structural keys unstable"
+    )
+    fresh_lookups = second.lookups - lookups_before
+    assert second.hits - hits_before == fresh_lookups, (
+        "second sweep was not 100% plan-cache served"
+    )
+    print(
+        f"plan cache: {baseline_misses} compilations for "
+        f"{second.lookups} lookups; second sweep 100% hits"
+    )
+
+    timings = timings_payload(run)
+    header = (
+        f"{'scenario':<58} {'rows':>6} {'op ms':>8} {'comp ms':>8} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for pair in timings["solver_pairs"]:
+        speedup = pair["solver_speedup"]
+        speedup_col = f"{speedup:>8.1f}" if speedup is not None else f"{'-':>8}"
+        print(
+            f"{pair['label'].split('/s2')[0][:58]:<58} {pair['rows']:>6} "
+            f"{pair['operator_solver_s'] * 1e3:>8.1f} "
+            f"{pair['compiled_solver_s'] * 1e3:>8.1f} "
+            + speedup_col
+        )
+    headline = timings["solver_headline"]
+    print(
+        f"\nlargest scenario ({headline['largest_scenario']}): "
+        f"{headline['solver_speedup']:.1f}x"
+    )
+    print(json.dumps({"solver_headline": headline}, indent=2, sort_keys=True))
+    assert headline["solver_speedup"] >= SPEEDUP_FLOOR, (
+        f"compiled solver only {headline['solver_speedup']:.1f}x faster on "
+        f"the largest scaling scenario (floor {SPEEDUP_FLOOR}x)"
+    )

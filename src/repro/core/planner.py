@@ -21,7 +21,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..faq import FAQQuery, scalar_value, solve_variable_elimination, solve_naive
+from ..faq import (
+    FAQQuery,
+    scalar_value,
+    solve_naive,
+    solve_variable_elimination,
+    validate_solver,
+)
 from ..lowerbounds.bounds import BoundReport, bcq_bounds, faq_bounds
 from ..network.topology import Topology
 from ..protocols.faq_protocol import (
@@ -99,6 +105,8 @@ class ExecutionReport:
         protocol_wall_time: Seconds spent executing the protocol alone
             (excludes the reference solve and bound formulas, which are
             engine-independent harness work).
+        solver_wall_time: Seconds spent in the centralized reference
+            solve alone — what the ``solver`` axis actually changes.
     """
 
     answer: Factor
@@ -108,6 +116,7 @@ class ExecutionReport:
     predicted: BoundReport
     protocol: FAQProtocolReport
     protocol_wall_time: float = 0.0
+    solver_wall_time: float = 0.0
 
     @property
     def measured_gap(self) -> float:
@@ -147,6 +156,12 @@ class Planner:
             reference per-node-generator simulator) or ``"compiled"``
             (the block-granular RoundProgram fast path).  Both produce
             identical answers and identical round/bit accounting.
+        solver: FAQ solver strategy — ``"operator"`` (operator-at-a-time
+            factor algebra) or ``"compiled"`` (cached fused query plans).
+            Applies to the centralized reference solve *and* to every
+            player's free internal computation inside the protocol; both
+            strategies produce identical answers and identical protocol
+            cost metrics.
     """
 
     def __init__(
@@ -157,9 +172,11 @@ class Planner:
         output_player: Optional[str] = None,
         backend: Optional[str] = None,
         engine: str = "generator",
+        solver: str = "operator",
     ) -> None:
         self.backend = backend
         self.engine = validate_engine(engine)
+        self.solver = validate_solver(solver)
         if backend is not None:
             query = query.with_backend(backend)
         self.query = query
@@ -183,11 +200,11 @@ class Planner:
         return faq_bounds(self.query.hypergraph, self.topology, players, n)
 
     def reference_answer(self) -> Factor:
-        """The centralized ground truth."""
+        """The centralized ground truth (on the configured solver)."""
         try:
-            return solve_variable_elimination(self.query)
+            return solve_variable_elimination(self.query, solver=self.solver)
         except ValueError:
-            return solve_naive(self.query)
+            return solve_naive(self.query, solver=self.solver)
 
     def execute(self, max_rounds: int = 2_000_000) -> ExecutionReport:
         """Run the distributed protocol and cross-check the answer."""
@@ -199,9 +216,12 @@ class Planner:
             output_player=self.output_player,
             max_rounds=max_rounds,
             engine=self.engine,
+            solver=self.solver,
         )
         protocol_wall_time = time.perf_counter() - start
+        start = time.perf_counter()
         reference = self.reference_answer()
+        solver_wall_time = time.perf_counter() - start
         return ExecutionReport(
             answer=protocol.answer,
             reference=reference,
@@ -210,6 +230,7 @@ class Planner:
             predicted=self.predict(),
             protocol=protocol,
             protocol_wall_time=protocol_wall_time,
+            solver_wall_time=solver_wall_time,
         )
 
 

@@ -6,6 +6,12 @@ from .message_passing import (
     solve_message_passing,
     upward_pass_message,
 )
+from .executor import (
+    DictionaryPool,
+    ExecutionStats,
+    execute_plan,
+    fused_join_marginalize,
+)
 from .naive import solve_naive
 from .operations import (
     aggregate_absent_variable,
@@ -16,6 +22,20 @@ from .operations import (
     scalar,
     scalar_value,
     semijoin,
+)
+from .plan import (
+    PLAN_CACHE,
+    SOLVER_COMPILED,
+    SOLVER_OPERATOR,
+    SOLVERS,
+    PlanCache,
+    QueryPlan,
+    plan_message_passing,
+    plan_naive,
+    plan_variable_elimination,
+    plan_yannakakis,
+    structural_signature,
+    validate_solver,
 )
 from .query import (
     PRODUCT,
@@ -59,4 +79,20 @@ __all__ = [
     "upward_pass_message",
     "solve_bcq_yannakakis",
     "full_reducer",
+    "SOLVERS",
+    "SOLVER_OPERATOR",
+    "SOLVER_COMPILED",
+    "validate_solver",
+    "QueryPlan",
+    "PlanCache",
+    "PLAN_CACHE",
+    "structural_signature",
+    "plan_variable_elimination",
+    "plan_naive",
+    "plan_message_passing",
+    "plan_yannakakis",
+    "execute_plan",
+    "ExecutionStats",
+    "DictionaryPool",
+    "fused_join_marginalize",
 ]

@@ -18,10 +18,15 @@ from .operations import (
     multi_join,
     project,
 )
+from .plan import SOLVER_COMPILED, validate_solver
 from .query import FAQQuery
 
 
-def solve_naive(query: FAQQuery, backend: str | None = None) -> Factor:
+def solve_naive(
+    query: FAQQuery,
+    backend: str | None = None,
+    solver: str | None = None,
+) -> Factor:
     """Evaluate ``query`` by brute force.
 
     Args:
@@ -29,13 +34,23 @@ def solve_naive(query: FAQQuery, backend: str | None = None) -> Factor:
         backend: Optional storage backend override (``"dict"`` or
             ``"columnar"``) applied to the factors for this solve only;
             ``None`` keeps the query's own backend.
+        solver: ``"operator"`` (default) or ``"compiled"`` — the compiled
+            plan keeps the naive join-then-aggregate shape literal (it is
+            the semantic ground truth, so nothing is fused), but benefits
+            from dictionary interning and plan caching.
 
     Returns:
         A factor over ``query.free_vars`` (zero-arity for BCQ; read it with
         :func:`repro.faq.operations.scalar_value`).
     """
+    solver = validate_solver(solver)
     if backend is not None:
         query = query.with_backend(backend)
+    if solver == SOLVER_COMPILED:
+        from .executor import execute_plan
+        from .plan import plan_naive
+
+        return execute_plan(plan_naive(query), query)
     joined = multi_join(query.factors.values(), name="joined")
     for variable in query.elimination_order():
         aggregate = query.aggregate_for(variable)

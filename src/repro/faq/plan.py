@@ -1,0 +1,710 @@
+"""Compiled FAQ query plans — typed logical DAGs over the factor algebra.
+
+The operator-at-a-time solvers in this package re-derive everything per
+call: each ``join``/``marginalize`` re-merges dictionaries, materializes a
+full intermediate factor, and ``greedy_elimination_order`` / GHD planning
+is recomputed from scratch for every scenario of a lab grid sweep.  This
+module is the planning half of the compiled execution layer (mirroring
+PR 3's two-plane protocol engine):
+
+* a small op vocabulary — :class:`InputOp`, :class:`JoinOp`,
+  :class:`SemijoinOp`, :class:`ProjectOp`, :class:`MarginalizeOp`,
+  :class:`AggregateAbsentOp` and the fusion-bearing
+  :class:`FusedJoinMarginalizeOp` — each carrying its output slot and
+  result schema;
+* lowering functions that translate each solver strategy (variable
+  elimination, naive, GHD message passing, Yannakakis) into a
+  :class:`QueryPlan`, fusing the ubiquitous "join every factor touching
+  ``v``, then ⊕-marginalize ``v`` out" step into one op whenever the
+  variable's aggregate is the semiring's own ⊕;
+* a :class:`PlanCache` keyed by the *structural* signature of the query —
+  factor schemas, free variables, bound order, aggregate signature,
+  semiring name and storage backend, never the data — so lab grid sweeps
+  that vary only seed/N/assignment compile once and reuse the plan
+  (including the greedy elimination order baked into it).
+
+Execution lives in :mod:`repro.faq.executor`; the parity contract is that
+``execute_plan(plan_for(query), query)`` returns byte-identical answers to
+the operator-at-a-time path on every supported query.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .query import FAQQuery
+
+#: Part of every cache key; bump on plan-semantics or op-vocabulary changes
+#: so stale entries miss instead of replaying an outdated lowering.
+PLAN_VERSION = 1
+
+#: The FAQ solver execution strategies: ``"operator"`` evaluates operator
+#: at a time through :mod:`repro.faq.operations`; ``"compiled"`` lowers the
+#: query into a :class:`QueryPlan` once and runs it on the fused columnar
+#: executor.  Both produce identical answers.
+SOLVER_OPERATOR = "operator"
+SOLVER_COMPILED = "compiled"
+SOLVERS: Tuple[str, ...] = (SOLVER_OPERATOR, SOLVER_COMPILED)
+
+
+def validate_solver(solver: Optional[str]) -> str:
+    """Normalize and check a solver name (``None`` means ``"operator"``).
+
+    Raises:
+        ValueError: on an unknown solver name.
+    """
+    if solver is None:
+        return SOLVER_OPERATOR
+    if solver not in SOLVERS:
+        raise ValueError(
+            f"unknown solver {solver!r}; known: {', '.join(SOLVERS)}"
+        )
+    return solver
+
+
+# ---------------------------------------------------------------------------
+# Plan ops
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One step of a compiled plan.
+
+    Attributes:
+        out: Environment slot the result is written to.
+        schema: The result factor's schema, in order (lowering tracks the
+            exact schema the operator path would produce, so the compiled
+            answer matches column-for-column).
+    """
+
+    out: int
+    schema: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InputOp(PlanOp):
+    """Load one of the query's input factors into a slot.
+
+    ``lift_boolean`` marks inputs the strategy reinterprets in the Boolean
+    semiring (Yannakakis semijoin programs), mirroring
+    ``Factor.with_semiring(BOOLEAN)`` on the operator path.
+    """
+
+    factor: str = ""
+    lift_boolean: bool = False
+
+
+@dataclass(frozen=True)
+class JoinOp(PlanOp):
+    """Natural join of two slots (Definition 3.4)."""
+
+    left: int = -1
+    right: int = -1
+
+
+@dataclass(frozen=True)
+class SemijoinOp(PlanOp):
+    """Semijoin ``left ⋉ right`` (Definition 3.5)."""
+
+    left: int = -1
+    right: int = -1
+
+
+@dataclass(frozen=True)
+class ProjectOp(PlanOp):
+    """Projection ``pi_schema`` with ⊕-combined duplicates."""
+
+    source: int = -1
+
+
+@dataclass(frozen=True)
+class MarginalizeOp(PlanOp):
+    """Aggregate one bound variable out of a slot.
+
+    The concrete operator (semiring ⊕, a custom semiring aggregate, or a
+    full-domain product fold) is resolved from the query at execution
+    time, so plans stay pure structure.
+    """
+
+    source: int = -1
+    variable: Any = None
+
+
+@dataclass(frozen=True)
+class AggregateAbsentOp(PlanOp):
+    """Aggregate out a bound variable occurring in no factor (naive solver)."""
+
+    source: int = -1
+    variable: Any = None
+
+
+@dataclass(frozen=True)
+class FusedJoinMarginalizeOp(PlanOp):
+    """The fused elimination step: join ``sources``, ⊕-marginalize ``variable``.
+
+    This is the hot loop of variable elimination collapsed into one op:
+    the executor runs it as a single index-join + sort/``reduceat``
+    group-by kernel that never materializes the joined factor.  Lowering
+    only emits it when the variable's aggregate is the semiring's own ⊕
+    (FAQ-SS semantics); anything else stays an explicit
+    :class:`JoinOp`/:class:`MarginalizeOp` sequence.
+    """
+
+    sources: Tuple[int, ...] = ()
+    variable: Any = None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A lowered, executable query plan.
+
+    Attributes:
+        strategy: Which solver semantics the plan encodes
+            (``"variable-elimination"``, ``"naive"``, ``"message-passing"``
+            or ``"yannakakis"``).
+        ops: The steps, in execution (topological) order.
+        output: Slot holding the final factor; ``None`` for degenerate
+            Yannakakis plans whose join tree carries no factor at the root
+            (the solver then answers ``True`` without executing).
+        num_slots: Environment size.
+        cache_key: The structural signature this plan was cached under
+            (``None`` for uncacheable queries, e.g. custom aggregate
+            callables or an explicit GHD).
+        order: The elimination order baked into a variable-elimination
+            plan (informational; already reflected in ``ops``).
+    """
+
+    strategy: str
+    ops: Tuple[PlanOp, ...]
+    output: Optional[int]
+    num_slots: int
+    cache_key: Optional[str] = None
+    order: Tuple[Any, ...] = ()
+
+    @property
+    def fused_ops(self) -> int:
+        """How many elimination steps were fused."""
+        return sum(1 for op in self.ops if isinstance(op, FusedJoinMarginalizeOp))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryPlan {self.strategy} ops={len(self.ops)} "
+            f"fused={self.fused_ops} slots={self.num_slots}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Structural signatures + the plan cache
+# ---------------------------------------------------------------------------
+
+
+def structural_signature(
+    query: FAQQuery,
+    strategy: str,
+    order: Optional[Sequence[Any]] = None,
+    default_ghd: bool = True,
+) -> Optional[str]:
+    """A sha256 content address of everything lowering depends on.
+
+    Covers the factor names and schema *orders* (join output schemas
+    follow them), free variables, bound order, per-variable aggregate
+    signature, semiring name and storage backend — but never the factor
+    contents, domains or seeds, which is what lets a grid sweep over
+    seed/N/assignment share one plan.
+
+    Returns ``None`` for uncacheable queries: a custom aggregate
+    ``combine`` callable (unhashable semantics) or a caller-supplied GHD.
+    """
+    if not default_ghd:
+        return None
+    aggregates = []
+    for v in sorted(query.bound_vars, key=repr):
+        agg = query.aggregate_for(v)
+        if agg.combine is not None:
+            return None  # custom callables have no stable identity
+        aggregates.append([repr(v), agg.name, agg.kind])
+    payload = {
+        "version": PLAN_VERSION,
+        "strategy": strategy,
+        "factors": [
+            [name, [repr(v) for v in f.schema]]
+            for name, f in query.factors.items()
+        ],
+        "free_vars": [repr(v) for v in query.free_vars],
+        "bound_order": [repr(v) for v in query.bound_order],
+        "aggregates": aggregates,
+        "semiring": query.semiring.name,
+        "backend": query.backend or "native",
+        "order": None if order is None else [repr(v) for v in order],
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss counters of a :class:`PlanCache` (reset with the cache)."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """An LRU cache of compiled plans keyed by structural signature.
+
+    Per-process, like any compiled-code cache: lab workers each warm
+    their own copy, and a grid sweep in one process compiles each
+    structure exactly once.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: Optional[str]) -> Optional[QueryPlan]:
+        """Look up a plan, counting the hit/miss."""
+        if key is None:
+            self.stats.uncacheable += 1
+            return None
+        plan = self._plans.get(key)
+        if plan is None:
+            self.stats.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.stats.hits += 1
+        return plan
+
+    def put(self, key: Optional[str], plan: QueryPlan) -> None:
+        """Store a plan (no-op for uncacheable keys), evicting LRU."""
+        if key is None:
+            return
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every plan and reset the counters."""
+        self._plans.clear()
+        self.stats = PlanCacheStats()
+
+
+#: The process-wide plan cache every ``solver="compiled"`` entry point uses.
+PLAN_CACHE = PlanCache()
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    """Accumulates ops and allocates slots during lowering."""
+
+    def __init__(self) -> None:
+        self.ops: List[PlanOp] = []
+        self._next = 0
+
+    def slot(self) -> int:
+        s = self._next
+        self._next += 1
+        return s
+
+    def emit(self, op: PlanOp) -> int:
+        self.ops.append(op)
+        return op.out
+
+    @property
+    def num_slots(self) -> int:
+        return self._next
+
+
+def _merged_schema(a: Sequence[Any], b: Sequence[Any]) -> Tuple[Any, ...]:
+    return tuple(a) + tuple(v for v in b if v not in a)
+
+
+def _multi_join(
+    b: _Builder, parts: Sequence[Tuple[int, Tuple[Any, ...]]]
+) -> Tuple[int, Tuple[Any, ...]]:
+    """Lower ``multi_join``: left-to-right pairwise joins."""
+    if not parts:
+        raise ValueError("multi_join requires at least one factor")
+    slot, schema = parts[0]
+    for other_slot, other_schema in parts[1:]:
+        schema = _merged_schema(schema, other_schema)
+        slot = b.emit(JoinOp(b.slot(), schema, left=slot, right=other_slot))
+    return slot, schema
+
+
+def _is_plain_sum(query: FAQQuery, variable: Any) -> bool:
+    """True when ``variable``'s aggregate is the semiring's own ⊕ —
+    the precondition for emitting a :class:`FusedJoinMarginalizeOp`."""
+    agg = query.aggregate_for(variable)
+    return agg.kind == "semiring" and agg.combine is None
+
+
+def _eliminate(
+    b: _Builder,
+    query: FAQQuery,
+    variable: Any,
+    parts: Sequence[Tuple[int, Tuple[Any, ...]]],
+) -> Tuple[int, Tuple[Any, ...]]:
+    """Lower one elimination step: join ``parts``, marginalize ``variable``.
+
+    Fuses into one op for plain-⊕ variables; otherwise an explicit
+    join-then-marginalize sequence (custom semiring aggregates and
+    full-domain product folds keep their operator semantics).
+    """
+    joined_schema: Tuple[Any, ...] = ()
+    for _, schema in parts:
+        joined_schema = _merged_schema(joined_schema, schema)
+    out_schema = tuple(v for v in joined_schema if v != variable)
+    if _is_plain_sum(query, variable):
+        slot = b.emit(
+            FusedJoinMarginalizeOp(
+                b.slot(), out_schema,
+                sources=tuple(s for s, _ in parts), variable=variable,
+            )
+        )
+        return slot, out_schema
+    slot, schema = _multi_join(b, parts)
+    slot = b.emit(
+        MarginalizeOp(b.slot(), out_schema, source=slot, variable=variable)
+    )
+    return slot, out_schema
+
+
+def _load_inputs(
+    b: _Builder, query: FAQQuery, lift_boolean: bool = False
+) -> Dict[str, Tuple[int, Tuple[Any, ...]]]:
+    """Emit one :class:`InputOp` per query factor, in listing order."""
+    loaded = {}
+    for name, factor in query.factors.items():
+        slot = b.emit(
+            InputOp(
+                b.slot(), tuple(factor.schema),
+                factor=name, lift_boolean=lift_boolean,
+            )
+        )
+        loaded[name] = (slot, tuple(factor.schema))
+    return loaded
+
+
+def _finish(
+    b: _Builder,
+    query: FAQQuery,
+    slot: int,
+    schema: Tuple[Any, ...],
+) -> int:
+    """Project onto the query's free variables when the order differs."""
+    if schema != query.free_vars:
+        slot = b.emit(
+            ProjectOp(b.slot(), tuple(query.free_vars), source=slot)
+        )
+    return slot
+
+
+def lower_variable_elimination(
+    query: FAQQuery, order: Sequence[Any]
+) -> QueryPlan:
+    """Lower InsideOut-style variable elimination over ``order``.
+
+    Mirrors :func:`repro.faq.variable_elimination.solve_variable_elimination`
+    step for step (the caller resolves and validates the order).
+    """
+    b = _Builder()
+    live = list(_load_inputs(b, query).values())
+    for variable in order:
+        touching = [(s, sch) for s, sch in live if variable in sch]
+        rest = [(s, sch) for s, sch in live if variable not in sch]
+        slot, schema = _eliminate(b, query, variable, touching)
+        live = rest + [(slot, schema)]
+    slot, schema = _multi_join(b, live)
+    slot = _finish(b, query, slot, schema)
+    return QueryPlan(
+        strategy="variable-elimination",
+        ops=tuple(b.ops),
+        output=slot,
+        num_slots=b.num_slots,
+        order=tuple(order),
+    )
+
+
+def lower_naive(query: FAQQuery) -> QueryPlan:
+    """Lower the naive solver: materialize the full join, aggregate in order.
+
+    Deliberately unfused — the naive strategy is the semantic ground
+    truth, so its plan keeps the join-then-aggregate shape literal.
+    """
+    b = _Builder()
+    loaded = list(_load_inputs(b, query).values())
+    slot, schema = _multi_join(b, loaded)
+    for variable in query.elimination_order():
+        if variable in schema:
+            schema = tuple(v for v in schema if v != variable)
+            slot = b.emit(
+                MarginalizeOp(b.slot(), schema, source=slot, variable=variable)
+            )
+        else:
+            slot = b.emit(
+                AggregateAbsentOp(
+                    b.slot(), schema, source=slot, variable=variable
+                )
+            )
+    slot = _finish(b, query, slot, schema)
+    return QueryPlan(
+        strategy="naive",
+        ops=tuple(b.ops),
+        output=slot,
+        num_slots=b.num_slots,
+    )
+
+
+def _ghd_placement_names(query: FAQQuery, ghd) -> Dict[str, List[str]]:
+    """Factor *names* per GHD node (the name-level twin of
+    :func:`repro.faq.message_passing.assign_factors_to_ghd`)."""
+    placement: Dict[str, List[str]] = {node_id: [] for node_id in ghd.nodes}
+    for name in query.factors:
+        home = ghd.covering_node(name)
+        if home is None:
+            edge = query.hypergraph.edge(name)
+            home = next(
+                (
+                    node.node_id
+                    for node in ghd.nodes.values()
+                    if edge <= node.chi
+                ),
+                None,
+            )
+        if home is None:
+            raise ValueError(f"hyperedge {name!r} is covered by no GHD node")
+        placement[home].append(name)
+    return placement
+
+
+def lower_message_passing(query: FAQQuery, ghd) -> QueryPlan:
+    """Lower the Theorem G.3 upward pass over ``ghd``.
+
+    Mirrors :func:`repro.faq.message_passing.solve_message_passing`: each
+    node joins its local factors with child messages, pushes down the
+    aggregates of subtree-private bound variables (fused when they are
+    plain ⊕), and the root finishes the remaining bound variables in
+    listed order.
+    """
+    b = _Builder()
+    loaded = _load_inputs(b, query)
+    placement = _ghd_placement_names(query, ghd)
+    free = set(query.free_vars)
+    listed = query.elimination_order()
+
+    messages: Dict[str, List[Tuple[int, Tuple[Any, ...]]]] = {
+        node_id: [] for node_id in ghd.nodes
+    }
+    root_id = ghd.root_id
+    output: Optional[Tuple[int, Tuple[Any, ...]]] = None
+    for node in ghd.postorder():
+        parts = [loaded[name] for name in placement[node.node_id]]
+        parts += messages[node.node_id]
+        if node.node_id == root_id:
+            if not parts:
+                raise ValueError("root received no factors; query is empty")
+            slot, schema = _multi_join(b, parts)
+            for variable in listed:
+                if variable in schema and variable not in free:
+                    schema = tuple(v for v in schema if v != variable)
+                    slot = b.emit(
+                        MarginalizeOp(
+                            b.slot(), schema, source=slot, variable=variable
+                        )
+                    )
+            missing_free = free - set(schema)
+            if missing_free:
+                raise ValueError(
+                    "free variables not available at the root (Appendix G.5 "
+                    f"restriction): {sorted(missing_free, key=str)}"
+                )
+            output = (slot, schema)
+            continue
+        if not parts:
+            continue  # structural node with nothing to forward
+        parent_bag = ghd.nodes[node.parent].chi
+        keep = set(parent_bag) | free
+        local_schema: Tuple[Any, ...] = ()
+        for _, schema in parts:
+            local_schema = _merged_schema(local_schema, schema)
+        private = [v for v in local_schema if v not in keep]
+        if not private:
+            slot, schema = _multi_join(b, parts)
+        else:
+            ordered = [v for v in listed if v in private]
+            slot, schema = _eliminate(b, query, ordered[0], parts)
+            for variable in ordered[1:]:
+                slot, schema = _eliminate(b, query, variable, [(slot, schema)])
+        messages[node.parent].append((slot, schema))
+
+    assert output is not None
+    slot = _finish(b, query, output[0], output[1])
+    return QueryPlan(
+        strategy="message-passing",
+        ops=tuple(b.ops),
+        output=slot,
+        num_slots=b.num_slots,
+    )
+
+
+def lower_yannakakis(query: FAQQuery, ghd) -> QueryPlan:
+    """Lower the bottom-up Yannakakis semijoin pass over ``ghd``.
+
+    Pure dataflow — the operator path's early exits on empty factors are
+    shortcuts to the same answer (an empty factor semijoins everything
+    above it empty), so the plan's root factor decides the BCQ exactly.
+    """
+    b = _Builder()
+    loaded = _load_inputs(b, query, lift_boolean=True)
+    placement = _ghd_placement_names(query, ghd)
+
+    reduced: Dict[str, Optional[Tuple[int, Tuple[Any, ...]]]] = {}
+    for node in ghd.postorder():
+        names = placement[node.node_id]
+        current = _multi_join(b, [loaded[n] for n in names]) if names else None
+        for child_id in node.children:
+            child = reduced[child_id]
+            if child is None:
+                continue
+            if current is not None:
+                current = (
+                    b.emit(
+                        SemijoinOp(
+                            b.slot(), current[1],
+                            left=current[0], right=child[0],
+                        )
+                    ),
+                    current[1],
+                )
+            else:
+                # Structural node: forward the child factor upward.
+                current = child
+        reduced[node.node_id] = current
+    root = reduced[ghd.root_id]
+    return QueryPlan(
+        strategy="yannakakis",
+        ops=tuple(b.ops),
+        output=None if root is None else root[0],
+        num_slots=b.num_slots,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached entry points (what the solvers call)
+# ---------------------------------------------------------------------------
+
+
+def plan_variable_elimination(
+    query: FAQQuery, order: Optional[Sequence[Any]] = None
+) -> QueryPlan:
+    """The (cached) variable-elimination plan for ``query``.
+
+    On a cache hit the greedy elimination order is *not* recomputed — it
+    is baked into the cached plan, which is the point of keying plans by
+    structure across a grid sweep.
+    """
+    key = structural_signature(query, "variable-elimination", order=order)
+    cached = PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if order is None:
+        if query.is_faq_ss():
+            from .variable_elimination import greedy_elimination_order
+
+            resolved: Tuple[Any, ...] = greedy_elimination_order(query)
+        else:
+            resolved = query.elimination_order()
+    else:
+        resolved = tuple(order)
+    plan = lower_variable_elimination(query, resolved)
+    plan = QueryPlan(
+        strategy=plan.strategy, ops=plan.ops, output=plan.output,
+        num_slots=plan.num_slots, cache_key=key, order=plan.order,
+    )
+    PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_naive(query: FAQQuery) -> QueryPlan:
+    """The (cached) naive-solver plan for ``query``."""
+    key = structural_signature(query, "naive")
+    cached = PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    plan = lower_naive(query)
+    plan = QueryPlan(
+        strategy=plan.strategy, ops=plan.ops, output=plan.output,
+        num_slots=plan.num_slots, cache_key=key,
+    )
+    PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_message_passing(query: FAQQuery, ghd=None) -> QueryPlan:
+    """The (cached) GHD message-passing plan for ``query``.
+
+    A caller-supplied GHD bypasses the cache (its structure is not part
+    of the signature); the default best-GYO-GHD is deterministic per
+    hypergraph, so default plans are safely shared.
+    """
+    key = structural_signature(
+        query, "message-passing", default_ghd=ghd is None
+    )
+    cached = PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if ghd is None:
+        from ..decomposition import best_gyo_ghd
+
+        ghd = best_gyo_ghd(query.hypergraph)
+    plan = lower_message_passing(query, ghd)
+    plan = QueryPlan(
+        strategy=plan.strategy, ops=plan.ops, output=plan.output,
+        num_slots=plan.num_slots, cache_key=key,
+    )
+    PLAN_CACHE.put(key, plan)
+    return plan
+
+
+def plan_yannakakis(query: FAQQuery, ghd=None) -> QueryPlan:
+    """The (cached) Yannakakis semijoin-program plan for ``query``."""
+    key = structural_signature(query, "yannakakis", default_ghd=ghd is None)
+    cached = PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if ghd is None:
+        from ..decomposition import best_gyo_ghd
+
+        ghd = best_gyo_ghd(query.hypergraph)
+    plan = lower_yannakakis(query, ghd)
+    plan = QueryPlan(
+        strategy=plan.strategy, ops=plan.ops, output=plan.output,
+        num_slots=plan.num_slots, cache_key=key,
+    )
+    PLAN_CACHE.put(key, plan)
+    return plan

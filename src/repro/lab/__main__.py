@@ -8,12 +8,14 @@ Commands:
   scenario's protocol answer disagrees with the centralized solver.
   ``--engine generator|compiled`` overrides every scenario's protocol
   engine; ``--engine both`` runs each scenario on both engines (paired,
-  for parity checks and speedup measurements).  ``--timings`` adds a
-  volatile wall-clock section (per-scenario times and per-pair engine
-  speedups) to the artifact.
-* ``parity <BENCH_lab.json>`` — verify engine parity in an artifact:
-  every generator/compiled pair must agree exactly on answer digest,
-  round count and total bits.  Exit code 1 on any mismatch.
+  for parity checks and speedup measurements).  ``--solver
+  operator|compiled|both`` does the same for the FAQ solver axis.
+  ``--timings`` adds a volatile wall-clock section (per-scenario times
+  and per-pair engine/solver speedups) to the artifact.
+* ``parity <BENCH_lab.json>`` — verify parity in an artifact: every pair
+  of scenarios differing only in the protocol engine or only in the FAQ
+  solver must agree exactly on answer digest, round count and total
+  bits.  Exit code 1 on any mismatch.
 * ``list`` — show the registered suites with sizes and descriptions.
 
 Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
@@ -30,6 +32,7 @@ import os
 import sys
 from typing import List, Optional
 
+from ..faq import SOLVERS
 from ..protocols.faq_protocol import ENGINES
 from .cache import ResultCache
 from .report import (
@@ -39,12 +42,13 @@ from .report import (
     parity_failures,
     render_csv,
     render_markdown,
+    solver_pairs,
     write_artifact,
 )
 from .results import aggregate
 from .runner import run_suite
 from .spec import SuiteSpec
-from .suites import get_suite, suite_names, with_engines
+from .suites import get_suite, suite_names, with_engines, with_solvers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,9 +96,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "('both' pairs each scenario across engines)",
     )
     run_p.add_argument(
+        "--solver", choices=list(SOLVERS) + ["both"], default=None,
+        help="override the FAQ solver for every scenario "
+        "('both' pairs each scenario across solvers)",
+    )
+    run_p.add_argument(
         "--timings", action="store_true",
         help="add a volatile wall-clock section (per-scenario times, "
-        "per-pair engine speedups) to BENCH_lab.json",
+        "per-pair engine/solver speedups) to BENCH_lab.json",
     )
 
     parity_p = sub.add_parser(
@@ -117,19 +126,23 @@ def _cmd_parity(args: argparse.Namespace) -> int:
     with open(args.artifact, "r", encoding="utf-8") as fh:
         payload = json.load(fh)
     records = payload.get("scenarios", [])
-    pairs = engine_pairs(records)
-    if not pairs:
+    e_pairs = engine_pairs(records)
+    s_pairs = solver_pairs(records)
+    if not e_pairs and not s_pairs:
         print(
-            "no engine pairs in artifact (run a suite with --engine both "
-            "or the engine-compare/engine-smoke suites)"
+            "no engine or solver pairs in artifact (run a suite with "
+            "--engine both / --solver both, or the *-compare/*-smoke "
+            "suites)"
         )
         return 1
-    failures = parity_failures(records)
-    print(f"{len(pairs)} engine pair(s) checked")
+    failures = parity_failures(records, "engine") + parity_failures(
+        records, "solver"
+    )
+    print(f"{len(e_pairs)} engine pair(s), {len(s_pairs)} solver pair(s) checked")
     if failures:
         print(f"PARITY FAILURES ({len(failures)}):", *failures, sep="\n  ")
         return 1
-    print("engine parity OK: answer digests, rounds and bits all equal")
+    print("parity OK: answer digests, rounds and bits all equal")
     return 0
 
 
@@ -143,6 +156,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         suite = SuiteSpec(
             name=suite.name,
             scenarios=tuple(s.with_(engine=args.engine) for s in suite),
+            description=suite.description,
+        )
+    if args.solver == "both":
+        suite = with_solvers(
+            suite, suite.name, suite.description or suite.name
+        )
+    elif args.solver is not None:
+        suite = SuiteSpec(
+            name=suite.name,
+            scenarios=tuple(s.with_(solver=args.solver) for s in suite),
             description=suite.description,
         )
     cache: Optional[ResultCache] = None

@@ -62,14 +62,15 @@ def render_markdown(run: SuiteRun) -> str:
         f"families; {run.cache_hits} cached, {run.executed} executed "
         f"on {run.jobs} job(s) in {run.wall_time:.2f}s.",
         "",
-        "| scenario | topology | engine | N | rounds | bits | upper | lower "
-        "| gap | budget | ok |",
-        "|---|---|---|---:|---:|---:|---:|---:|---:|---:|:-:|",
+        "| scenario | topology | engine | solver | N | rounds | bits "
+        "| upper | lower | gap | budget | ok |",
+        "|---|---|---|---|---:|---:|---:|---:|---:|---:|---:|:-:|",
     ]
     for r in run.results:
         gap = f"{r.gap:.2f}" if r.gap is not None else "-"
         lines.append(
             f"| `{r.query_name}` | {r.topology_name} | {r.spec.engine} "
+            f"| {r.spec.solver} "
             f"| {r.rows} | {r.measured_rounds} | {r.total_bits} "
             f"| {r.upper_formula:.1f} "
             f"| {r.lower_formula:.1f} | {gap} | {r.gap_budget:.1f} "
@@ -99,9 +100,9 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
     writer.writerow(
         [
             "family", "query", "topology", "backend", "assignment",
-            "engine", "semiring", "n", "seed", "players", "d", "r", "rows",
-            "measured_rounds", "total_bits", "link_utilization",
-            "upper_formula", "lower_formula",
+            "engine", "solver", "semiring", "n", "seed", "players", "d",
+            "r", "rows", "measured_rounds", "total_bits",
+            "link_utilization", "upper_formula", "lower_formula",
             "gap", "gap_budget", "correct", "spec_hash",
         ]
     )
@@ -110,60 +111,84 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             [
                 r.spec.family, r.query_name, r.topology_name,
                 r.spec.backend or "native", r.spec.assignment,
-                r.spec.engine, r.spec.semiring, r.spec.n, r.spec.seed,
-                r.players, r.d, r.r, r.rows, r.measured_rounds,
-                r.total_bits, r.link_utilization, r.upper_formula,
-                r.lower_formula, "" if r.gap is None else r.gap,
+                r.spec.engine, r.spec.solver, r.spec.semiring, r.spec.n,
+                r.spec.seed, r.players, r.d, r.r, r.rows,
+                r.measured_rounds, r.total_bits, r.link_utilization,
+                r.upper_formula, r.lower_formula,
+                "" if r.gap is None else r.gap,
                 r.gap_budget, int(r.correct), r.spec_hash,
             ]
         )
     return buf.getvalue()
 
 
-def _pair_key(spec_record: Dict[str, Any]) -> str:
-    """A scenario's identity with the engine axis erased."""
-    stripped = {k: v for k, v in spec_record.items() if k != "engine"}
+#: Per-axis default value for records predating the axis.
+_AXIS_DEFAULTS = {"engine": "generator", "solver": "operator"}
+
+
+def _pair_key(spec_record: Dict[str, Any], axis: str = "engine") -> str:
+    """A scenario's identity with one comparison axis erased."""
+    stripped = {k: v for k, v in spec_record.items() if k != axis}
     return json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+
+
+def axis_pairs(
+    records: Sequence[Dict[str, Any]], axis: str
+) -> List[Dict[str, Dict[str, Any]]]:
+    """Group scenario records that differ only in ``spec.<axis>``.
+
+    Returns one ``{axis_value: record}`` dict per scenario identity that
+    was run on more than one value of the axis (suite order of first
+    appearance).  ``axis`` is ``"engine"`` or ``"solver"``.
+    """
+    default = _AXIS_DEFAULTS.get(axis)
+    groups: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    order: List[str] = []
+    for record in records:
+        key = _pair_key(record["spec"], axis)
+        if key not in groups:
+            groups[key] = {}
+            order.append(key)
+        groups[key][record["spec"].get(axis, default)] = record
+    return [groups[key] for key in order if len(groups[key]) > 1]
 
 
 def engine_pairs(
     records: Sequence[Dict[str, Any]],
 ) -> List[Dict[str, Dict[str, Any]]]:
-    """Group scenario records that differ only in ``spec.engine``.
-
-    Returns one ``{engine: record}`` dict per scenario identity that was
-    run on more than one engine (suite order of first appearance).
-    """
-    groups: Dict[str, Dict[str, Dict[str, Any]]] = {}
-    order: List[str] = []
-    for record in records:
-        key = _pair_key(record["spec"])
-        if key not in groups:
-            groups[key] = {}
-            order.append(key)
-        groups[key][record["spec"].get("engine", "generator")] = record
-    return [groups[key] for key in order if len(groups[key]) > 1]
+    """Records paired across the protocol-engine axis."""
+    return axis_pairs(records, "engine")
 
 
-def parity_failures(records: Sequence[Dict[str, Any]]) -> List[str]:
-    """Engine-parity violations among scenario records.
+def solver_pairs(
+    records: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Dict[str, Any]]]:
+    """Records paired across the FAQ-solver axis."""
+    return axis_pairs(records, "solver")
 
-    For every generator/compiled pair, the answer digest, round count and
-    total bits must be exactly equal; any difference is a correctness bug
-    in one of the engines, never a tolerable deviation.
+
+def parity_failures(
+    records: Sequence[Dict[str, Any]], axis: str = "engine"
+) -> List[str]:
+    """Parity violations among scenario records along one axis.
+
+    For every pair differing only in ``spec.<axis>`` (protocol engine or
+    FAQ solver), the answer digest, round count and total bits must be
+    exactly equal; any difference is a correctness bug on one side,
+    never a tolerable deviation.
     """
     failures: List[str] = []
-    for pair in engine_pairs(records):
-        engines = sorted(pair)
-        baseline_engine = engines[0]
-        baseline = pair[baseline_engine]
-        for engine in engines[1:]:
-            other = pair[engine]
+    for pair in axis_pairs(records, axis):
+        values = sorted(pair)
+        baseline_value = values[0]
+        baseline = pair[baseline_value]
+        for value in values[1:]:
+            other = pair[value]
             for field in ("answer_digest", "measured_rounds", "total_bits"):
                 if baseline[field] != other[field]:
                     failures.append(
                         f"{other['label']}: {field} {other[field]!r} != "
-                        f"{baseline_engine}'s {baseline[field]!r}"
+                        f"{baseline_value}'s {baseline[field]!r}"
                     )
     return failures
 
@@ -172,43 +197,74 @@ def timings_payload(run: SuiteRun) -> Dict[str, Any]:
     """Wall-clock measurements for a suite run (volatile by nature).
 
     Never part of the deterministic artifact payload; included only on
-    request (``--timings``) under a separate key.  For engine pairs the
-    ``protocol_speedup`` divides *protocol* wall times — the part of a
-    scenario the engine axis changes (instance generation, the reference
-    solve and the bound formulas are engine-independent harness work).
+    request (``--timings``) under a separate key.  Pairs divide the wall
+    time of exactly the part their axis changes: engine pairs compare
+    *protocol* wall times, solver pairs compare *reference-solve* wall
+    times (instance generation and the bound formulas are harness work
+    common to both sides).
     """
     scenarios = [
         {
             "label": r.spec.label,
             "engine": r.spec.engine,
+            "solver": r.spec.solver,
             "wall_time": r.wall_time,
             "protocol_wall_time": r.protocol_wall_time,
+            "solver_wall_time": r.solver_wall_time,
             "cached": r.cached,
         }
         for r in run.results
     ]
+    engine_pairs_, engine_headline = _axis_timing_pairs(
+        run.results, "engine", "generator", "protocol", "protocol_wall_time"
+    )
+    solver_pairs_, solver_headline = _axis_timing_pairs(
+        run.results, "solver", "operator", "solver", "solver_wall_time"
+    )
+    return {
+        "scenarios": scenarios,
+        "engine_pairs": engine_pairs_,
+        "headline": engine_headline,
+        "solver_pairs": solver_pairs_,
+        "solver_headline": solver_headline,
+    }
+
+
+def _axis_timing_pairs(
+    results: Sequence[ScenarioResult],
+    axis: str,
+    baseline: str,
+    metric: str,
+    time_attr: str,
+):
+    """Per-pair wall-time ratios along one axis, plus the max-rows headline.
+
+    Pairs a ``baseline`` result with its ``"compiled"`` twin (the fast
+    side of both axes), reading ``time_attr`` — the wall time of exactly
+    the part the axis changes.  Keys follow the axis vocabulary:
+    ``{baseline}_{metric}_s`` / ``compiled_{metric}_s`` /
+    ``{metric}_speedup`` plus whole-scenario times.
+    """
     by_key: Dict[str, Dict[str, ScenarioResult]] = {}
-    for r in run.results:
-        key = _pair_key(r.spec.to_json_dict())
-        by_key.setdefault(key, {})[r.spec.engine] = r
+    for r in results:
+        key = _pair_key(r.spec.to_json_dict(), axis)
+        by_key.setdefault(key, {})[getattr(r.spec, axis)] = r
     pairs = []
     for group in by_key.values():
-        gen = group.get("generator")
+        base = group.get(baseline)
         comp = group.get("compiled")
-        if gen is None or comp is None or gen.cached or comp.cached:
+        if base is None or comp is None or base.cached or comp.cached:
             continue
+        base_t = getattr(base, time_attr)
+        comp_t = getattr(comp, time_attr)
         pairs.append(
             {
-                "label": comp.spec.with_(engine="generator").label,
+                "label": comp.spec.with_(**{axis: baseline}).label,
                 "rows": comp.rows,
-                "generator_protocol_s": gen.protocol_wall_time,
-                "compiled_protocol_s": comp.protocol_wall_time,
-                "protocol_speedup": (
-                    gen.protocol_wall_time / comp.protocol_wall_time
-                    if comp.protocol_wall_time > 0
-                    else None
-                ),
-                "generator_scenario_s": gen.wall_time,
+                f"{baseline}_{metric}_s": base_t,
+                f"compiled_{metric}_s": comp_t,
+                f"{metric}_speedup": base_t / comp_t if comp_t > 0 else None,
+                f"{baseline}_scenario_s": base.wall_time,
                 "compiled_scenario_s": comp.wall_time,
             }
         )
@@ -218,9 +274,9 @@ def timings_payload(run: SuiteRun) -> Dict[str, Any]:
         headline = {
             "largest_scenario": largest["label"],
             "rows": largest["rows"],
-            "protocol_speedup": largest["protocol_speedup"],
+            f"{metric}_speedup": largest[f"{metric}_speedup"],
         }
-    return {"scenarios": scenarios, "engine_pairs": pairs, "headline": headline}
+    return pairs, headline
 
 
 def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:

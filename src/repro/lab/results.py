@@ -62,6 +62,9 @@ class ScenarioResult:
             deterministic record).
         protocol_wall_time: Seconds spent in the protocol run alone
             (volatile) — what the engine axis actually changes.
+        solver_wall_time: Seconds spent in the centralized reference
+            solve alone (volatile) — what the solver axis actually
+            changes.
         cached: True when served from the result cache (volatile).
     """
 
@@ -84,6 +87,7 @@ class ScenarioResult:
     answer_digest: str
     wall_time: float = 0.0
     protocol_wall_time: float = 0.0
+    solver_wall_time: float = 0.0
     cached: bool = False
 
     # ------------------------------------------------------------------

@@ -260,7 +260,7 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     assignment = build_assignment(spec, built, topology)
     planner = Planner(
         built.query, topology, assignment=assignment, backend=spec.backend,
-        engine=spec.engine,
+        engine=spec.engine, solver=spec.solver,
     )
     report = planner.execute(max_rounds=spec.max_rounds)
     predicted = report.predicted
@@ -288,6 +288,7 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
         answer_digest=answer_digest(report.answer.schema, report.answer.rows),
         wall_time=time.perf_counter() - start,
         protocol_wall_time=float(report.protocol_wall_time),
+        solver_wall_time=float(report.solver_wall_time),
         cached=False,
     )
 

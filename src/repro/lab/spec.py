@@ -21,6 +21,7 @@ import json
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from ..faq import SOLVERS
 from ..protocols.faq_protocol import ENGINES
 from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 
@@ -29,7 +30,8 @@ from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 #: v2: structure and instance generators get distinct child seeds.
 #: v3: scenarios carry a protocol engine axis; results record bit totals
 #: and link utilization.
-SPEC_VERSION = 3
+#: v4: scenarios carry an FAQ solver axis (operator vs compiled plans).
+SPEC_VERSION = 4
 
 #: Assignment policies the runner implements.
 ASSIGNMENTS = ("round-robin", "single", "worst-case")
@@ -81,6 +83,9 @@ class ScenarioSpec:
         engine: Protocol execution engine (``"generator"`` or
             ``"compiled"``) — an explicit axis so engine-parity suites
             can pair otherwise-identical scenarios.
+        solver: FAQ solver strategy (``"operator"`` or ``"compiled"``)
+            used for the reference solve and all free internal
+            computation — the solver-parity twin of the engine axis.
     """
 
     family: str
@@ -96,6 +101,7 @@ class ScenarioSpec:
     assignment: str = "round-robin"
     max_rounds: int = 2_000_000
     engine: str = "generator"
+    solver: str = "operator"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "query_params", _freeze_params(self.query_params))
@@ -124,6 +130,10 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {ENGINES}"
             )
+        if self.solver not in SOLVERS:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; known: {SOLVERS}"
+            )
 
     # ------------------------------------------------------------------
     # Identity
@@ -145,6 +155,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "engine": self.engine,
+            "solver": self.solver,
         }
 
     @classmethod
@@ -166,6 +177,7 @@ class ScenarioSpec:
             seed=data["seed"],
             max_rounds=data.get("max_rounds", 2_000_000),
             engine=data.get("engine", "generator"),
+            solver=data.get("solver", "operator"),
         )
 
     def content_hash(self) -> str:
@@ -201,7 +213,7 @@ class ScenarioSpec:
         return (
             f"{self.family}:{self.query}({qp})@{self.topology}({tp})"
             f"/N={self.n}/{self.semiring}/{backend}/{self.assignment}"
-            f"/{self.engine}/s{self.seed}"
+            f"/{self.engine}/{self.solver}/s{self.seed}"
         )
 
     def with_(self, **changes: Any) -> "ScenarioSpec":

@@ -8,7 +8,12 @@ Built-ins:
   suites the ``bench_table1_*`` wrappers run individually;
 * ``backend-compare`` — every scenario twice, once per storage backend,
   so answer digests and round counts can be asserted pairwise identical;
-* ``scaling`` — size and player-count sweeps for perf trajectories.
+* ``scaling`` — size and player-count sweeps for perf trajectories;
+* ``engine-compare`` / ``engine-smoke`` — every scenario on both protocol
+  engines, for the engine-parity gate;
+* ``solver-scaling`` / ``solver-compare`` / ``solver-smoke`` — the FAQ
+  solver axis: sweeps sized so the reference solve dominates, paired
+  across ``solver="operator"``/``"compiled"`` for the solver-parity gate.
 
 Register custom suites with :func:`register_suite`; builders are lazy so
 importing this module stays cheap.
@@ -18,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from ..faq import SOLVERS
 from ..protocols.faq_protocol import ENGINES
 from .spec import ScenarioSpec, SuiteSpec, expand_grid
 
@@ -323,6 +329,46 @@ def _scaling_suite() -> SuiteSpec:
     )
 
 
+def _solver_scaling_suite() -> SuiteSpec:
+    """Solver-axis scaling rows: sizes where the reference solve is the
+    hot loop.  The protocol runs on the compiled engine throughout, so
+    within a solver pair only the FAQ solver varies."""
+    scenarios = expand_grid(
+        dict(
+            family="solver-xl",
+            query="hard-star",
+            query_params={"arms": 4},
+            topology="line",
+            topology_params={"n": 4},
+            assignment="worst-case",
+            backend="columnar",
+            engine="compiled",
+            seed=DEFAULT_SEED,
+        ),
+        n=[2048, 8192, 32768],
+    ) + expand_grid(
+        dict(
+            family="solver-acyclic",
+            query="acyclic",
+            query_params={"edges": 5, "arity": 3},
+            topology="expander",
+            topology_params={"n": 8, "degree": 3, "seed": 1},
+            domain_size=16,
+            semiring="counting",
+            backend="columnar",
+            engine="compiled",
+            seed=DEFAULT_SEED,
+        ),
+        n=[128, 512],
+    )
+    return SuiteSpec(
+        name="solver-scaling",
+        scenarios=scenarios,
+        description="N doubling sweeps sized so the FAQ solver dominates; "
+        "the artifact is the solver perf trajectory",
+    )
+
+
 def with_engines(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
     """Pair every scenario of ``suite`` across both protocol engines.
 
@@ -356,6 +402,41 @@ def _engine_smoke_suite() -> SuiteSpec:
     )
 
 
+def with_solvers(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Pair every scenario of ``suite`` across both FAQ solvers.
+
+    Consecutive scenarios differ only in ``solver``, so reports read as
+    operator/compiled pairs and the ``parity`` command (and tests) can
+    assert digest + rounds + bits equality pairwise — the solver twin of
+    :func:`with_engines`.
+    """
+    scenarios = tuple(
+        spec.with_(solver=solver)
+        for spec in suite.scenarios
+        for solver in SOLVERS
+    )
+    return SuiteSpec(name=name, scenarios=scenarios, description=description)
+
+
+def _solver_compare_suite() -> SuiteSpec:
+    return with_solvers(
+        _solver_scaling_suite(),
+        "solver-compare",
+        "the solver-scaling sweep on both FAQ solvers; answer digests, "
+        "round counts and total bits must match pairwise, and the "
+        "compiled solver's wall-clock trajectory is the artifact",
+    )
+
+
+def _solver_smoke_suite() -> SuiteSpec:
+    return with_solvers(
+        _smoke_suite(),
+        "solver-smoke",
+        "the CI smoke cross-section on both FAQ solvers (the "
+        "solver-parity gate)",
+    )
+
+
 register_suite("smoke", _smoke_suite)
 register_suite("table1", _table1_suite)
 register_suite("table1-line", table1_line_suite)
@@ -366,3 +447,6 @@ register_suite("backend-compare", _backend_compare_suite)
 register_suite("scaling", _scaling_suite)
 register_suite("engine-compare", _engine_compare_suite)
 register_suite("engine-smoke", _engine_smoke_suite)
+register_suite("solver-scaling", _solver_scaling_suite)
+register_suite("solver-compare", _solver_compare_suite)
+register_suite("solver-smoke", _solver_smoke_suite)

@@ -566,7 +566,7 @@ def _compile_final(
                         query.factors[name].schema, received[name],
                         query.semiring, name,
                     )
-            return _finish_locally(query, final_factors)
+            return _finish_locally(query, final_factors, plan.solver)
 
         items.append(ComputeStep(finish, label="finish", is_output=True))
     return items

@@ -28,7 +28,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..decomposition import GHD, best_gyo_ghd
-from ..faq import FAQQuery, solve_naive, solve_variable_elimination
+from ..faq import (
+    FAQQuery,
+    solve_naive,
+    solve_variable_elimination,
+    validate_solver,
+)
 from ..faq.message_passing import upward_pass_message
 from ..hypergraph import Hypergraph
 from ..network.simulator import SimulationResult, Simulator
@@ -76,7 +81,13 @@ class StarPhase:
 @dataclass
 class ProtocolPlan:
     """Everything every player needs to know up front (Model 2.1 grants
-    all nodes knowledge of H, G and the protocol)."""
+    all nodes knowledge of H, G and the protocol).
+
+    ``solver`` selects the FAQ solver strategy players use for their free
+    internal computation (the residual solve at the output player);
+    communication is unaffected, and both strategies produce identical
+    answers.
+    """
 
     query: FAQQuery
     ghd: GHD
@@ -88,6 +99,7 @@ class ProtocolPlan:
     tuple_bits: int
     value_bits: int
     capacity_bits: int
+    solver: str = "operator"
 
     @property
     def num_star_phases(self) -> int:
@@ -136,6 +148,7 @@ def compile_plan(
     output_player: Optional[str] = None,
     ghd: Optional[GHD] = None,
     max_diameter: Optional[int] = None,
+    solver: str = "operator",
 ) -> ProtocolPlan:
     """Compile the distributed protocol for (query, topology, assignment).
 
@@ -149,11 +162,14 @@ def compile_plan(
             defaults to the owner of a core relation.
         ghd: Optional decomposition (defaults to the best GYO-GHD).
         max_diameter: Fix the Steiner packing Δ (None = optimize per star).
+        solver: FAQ solver strategy (``"operator"`` or ``"compiled"``)
+            players use for free internal computation.
 
     Raises:
         ValueError: on incomplete assignments, unknown players, or free
             variables no root bag can host.
     """
+    solver = validate_solver(solver)
     missing = set(query.hypergraph.edge_names) - set(assignment)
     if missing:
         raise ValueError(f"unassigned relations: {sorted(missing)}")
@@ -270,6 +286,7 @@ def compile_plan(
         tuple_bits=tuple_bits,
         value_bits=value_bits,
         capacity_bits=capacity,
+        solver=solver,
     )
 
 
@@ -459,12 +476,16 @@ def _make_player(plan: ProtocolPlan, node: str):
                 final_factors[name] = Factor(
                     query.factors[name].schema, received[name], semiring, name
                 )
-        return _finish_locally(query, final_factors)
+        return _finish_locally(query, final_factors, plan.solver)
 
     return proc
 
 
-def _finish_locally(query: FAQQuery, factors: Dict[str, Factor]) -> Factor:
+def _finish_locally(
+    query: FAQQuery,
+    factors: Dict[str, Factor],
+    solver: str = "operator",
+) -> Factor:
     """Solve the residual core query with free internal computation."""
     residual_h = Hypergraph(
         {name: f.schema for name, f in factors.items()}
@@ -491,9 +512,9 @@ def _finish_locally(query: FAQQuery, factors: Dict[str, Factor]) -> Factor:
         backend=query.backend,
     )
     try:
-        return solve_variable_elimination(residual)
+        return solve_variable_elimination(residual, solver=solver)
     except ValueError:
-        return solve_naive(residual)
+        return solve_naive(residual, solver=solver)
 
 
 #: The two protocol execution engines: ``"generator"`` is the reference
@@ -521,6 +542,7 @@ def run_distributed_faq(
     max_diameter: Optional[int] = None,
     max_rounds: int = 2_000_000,
     engine: str = "generator",
+    solver: str = "operator",
 ) -> FAQProtocolReport:
     """Compile and run the distributed FAQ protocol on the simulator.
 
@@ -533,6 +555,11 @@ def run_distributed_faq(
             plan into per-node RoundPrograms and runs the block-granular
             fast path.  Answers, round counts and bit accounting are
             identical; only wall-clock differs.
+        solver: FAQ solver strategy for the players' free internal
+            computation — ``"operator"`` or ``"compiled"`` (cached fused
+            query plans).  Orthogonal to ``engine``: it never touches
+            what goes over the wire, so answers, round counts and bit
+            accounting are identical across solvers.
 
     Returns:
         An :class:`FAQProtocolReport` with the answer factor and exact
@@ -540,7 +567,8 @@ def run_distributed_faq(
     """
     validate_engine(engine)
     plan = compile_plan(
-        query, topology, assignment, output_player, ghd, max_diameter
+        query, topology, assignment, output_player, ghd, max_diameter,
+        solver=solver,
     )
     sim = Simulator(topology, plan.capacity_bits, max_rounds)
     if engine == "compiled":

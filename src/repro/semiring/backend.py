@@ -67,6 +67,10 @@ class VectorProfile:
             the semiring's ``eq`` (floating-point profiles use the same
             absolute tolerance as :func:`repro.semiring.semirings._float_eq`
             against zero).
+        zero: The additive identity as a dtype scalar — what dense kernel
+            buffers are pre-filled with (absent tuples annihilate under ⊗
+            and are neutral under ⊕, so a dense array initialized to
+            ``zero`` behaves exactly like the sparse listing).
     """
 
     semiring_name: str
@@ -74,6 +78,7 @@ class VectorProfile:
     add: Any
     mul: Any
     is_zero_mask: Callable[[np.ndarray], np.ndarray]
+    zero: Any = 0
 
 
 #: Vector profiles for the standard numeric semirings.  GF(2) and custom
@@ -81,7 +86,7 @@ class VectorProfile:
 VECTOR_PROFILES: Dict[str, VectorProfile] = {
     BOOLEAN.name: VectorProfile(
         BOOLEAN.name, np.bool_, np.logical_or, np.logical_and,
-        lambda a: ~a,
+        lambda a: ~a, zero=False,
     ),
     # Counting annotations live in int64 here, while the dict backend's
     # Python ints are unbounded: workloads whose counts can reach 2**63
@@ -89,23 +94,23 @@ VECTOR_PROFILES: Dict[str, VectorProfile] = {
     # NumPy integer arithmetic wraps silently on overflow.
     COUNTING.name: VectorProfile(
         COUNTING.name, np.int64, np.add, np.multiply,
-        lambda a: a == 0,
+        lambda a: a == 0, zero=0,
     ),
     REAL.name: VectorProfile(
         REAL.name, np.float64, np.add, np.multiply,
-        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL,
+        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL, zero=0.0,
     ),
     MIN_PLUS.name: VectorProfile(
         MIN_PLUS.name, np.float64, np.minimum, np.add,
-        np.isposinf,
+        np.isposinf, zero=np.inf,
     ),
     MAX_PLUS.name: VectorProfile(
         MAX_PLUS.name, np.float64, np.maximum, np.add,
-        np.isneginf,
+        np.isneginf, zero=-np.inf,
     ),
     MAX_TIMES.name: VectorProfile(
         MAX_TIMES.name, np.float64, np.maximum, np.multiply,
-        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL,
+        lambda a: np.abs(a) <= _FLOAT_ZERO_TOL, zero=0.0,
     ),
 }
 

@@ -134,8 +134,10 @@ class ColumnarFactor(Factor):
             np.ascontiguousarray(c, dtype=np.int64) for c in codes
         )
         # Dictionaries are shared by reference between derived factors
-        # (immutable by convention, per the class docstring).
-        self._dicts = tuple(d if type(d) is list else list(d) for d in dicts)
+        # (immutable by convention, per the class docstring).  Instances
+        # of list subclasses (e.g. the array-carrying Dictionary) pass
+        # through unchanged.
+        self._dicts = tuple(d if isinstance(d, list) else list(d) for d in dicts)
         self._values = values
         self._rows_cache = None
 
@@ -244,28 +246,90 @@ class ColumnarFactor(Factor):
 # ---------------------------------------------------------------------------
 
 
+class Dictionary(list):
+    """A code -> value list that remembers the array it was decoded from.
+
+    Dictionaries built by the vectorized ``np.unique`` encoder are plain
+    value lists *derived from* a homogeneous NumPy array; keeping that
+    array alongside lets the compiled executor's
+    :class:`~repro.faq.executor.DictionaryPool` union dictionaries with
+    one concatenate+sort instead of re-converting (and re-type-checking)
+    the Python lists per execution.  ``array`` is ``None`` for
+    dictionaries of unknown provenance; consumers must fall back to the
+    list contents then.  Behaves as (and compares equal to) the plain
+    list everywhere else.
+    """
+
+    __slots__ = ("_array",)
+
+    def __init__(self, values=(), array: Optional[np.ndarray] = None) -> None:
+        super().__init__(values)
+        self._array = array
+
+    @property
+    def array(self) -> Optional[np.ndarray]:
+        """The cached homogeneous array view (treat as immutable)."""
+        return self._array
+
+
+#: NumPy dtype kinds that round-trip each homogeneous Python element type
+#: exactly.  The kind must MATCH the element type: a huge-int column that
+#: NumPy silently promotes to float64 (values >= 2**63) would otherwise
+#: slip through as kind "f" and decode lossily.
+_EXACT_KINDS = {int: "iu", bool: "b", str: "U", float: "f"}
+
+
+def _exact_array(elem_type: type, values: Sequence[Any]) -> Optional[np.ndarray]:
+    """An exact-round-trip array view of a homogeneous column, or ``None``.
+
+    ``None`` when the element type has no exact NumPy mapping, the
+    conversion promoted (``int`` -> float64), or the column holds floats
+    that break dictionary-key semantics (NaN: ``nan != nan``; ``-0.0``:
+    ``np.unique`` may pick a different sign representative than the
+    first-appearance loop).
+
+    Raises:
+        TypeError/ValueError/OverflowError: whatever ``np.asarray`` raises
+            on unconvertible values (callers treat those as ``None``).
+    """
+    kinds = _EXACT_KINDS.get(elem_type)
+    if kinds is None:
+        return None
+    arr = np.asarray(values)
+    if arr.ndim != 1 or arr.dtype.kind not in kinds:
+        return None
+    if arr.dtype.kind == "f" and (
+        np.isnan(arr).any() or bool(((arr == 0.0) & np.signbit(arr)).any())
+    ):
+        return None
+    return arr
+
+
 def _encode_column(col: Sequence[Any], n: int):
     """Dictionary-encode one column into (int64 codes, dictionary list).
 
     Vectorized via ``np.unique`` for *homogeneous* ``int``/``bool``/
-    ``str`` columns (the dictionary then lists values in sorted order —
-    any coding is valid, decoding restores the original values exactly);
-    every other column — mixed types, floats (NaN identity), tuples,
-    arbitrary hashables — takes the generic first-appearance loop, whose
-    round trip is exact by construction.
+    ``str``/``float`` columns (the dictionary then lists values in sorted
+    order — any coding is valid, decoding restores the original values
+    exactly); every other column — mixed types, tuples, arbitrary
+    hashables — takes the generic first-appearance loop, whose round trip
+    is exact by construction.  Float columns only qualify when they carry
+    neither NaN (``nan != nan`` breaks dictionary-key semantics) nor a
+    negative zero (``-0.0 == 0.0`` would let ``np.unique`` pick a
+    different sign representative than the first-appearance loop).
     """
     column_types = set(map(type, col))
-    if len(column_types) == 1 and next(iter(column_types)) in (int, bool, str):
+    if len(column_types) == 1:
         try:
-            arr = np.asarray(col)
-            if arr.ndim == 1 and arr.dtype.kind in "iubU":
-                uniq, inverse = np.unique(arr, return_inverse=True)
-                return (
-                    inverse.reshape(-1).astype(np.int64, copy=False),
-                    uniq.tolist(),
-                )
+            arr = _exact_array(next(iter(column_types)), col)
         except (TypeError, ValueError, OverflowError):
-            pass
+            arr = None
+        if arr is not None:
+            uniq, inverse = np.unique(arr, return_inverse=True)
+            return (
+                inverse.reshape(-1).astype(np.int64, copy=False),
+                Dictionary(uniq.tolist(), array=uniq),
+            )
     dictionary: List[Any] = []
     code_map: dict = {}
     codes = np.empty(n, dtype=np.int64)
@@ -311,7 +375,14 @@ def _merge_dictionaries(left_dict: List[Any], right_dict: List[Any]):
     Returns:
         ``(merged, remap)`` where ``merged`` extends ``left_dict`` with the
         right-only values and ``remap[right_code] -> merged_code``.
+
+    Interned columns (the compiled executor's
+    :class:`~repro.faq.executor.DictionaryPool` hands every operand the
+    *same* dictionary object per variable) short-circuit to an identity
+    remap — no Python loop over the dictionary contents.
     """
+    if left_dict is right_dict:
+        return left_dict, np.arange(len(right_dict), dtype=np.int64)
     index = {v: i for i, v in enumerate(left_dict)}
     merged = list(left_dict)
     remap = np.empty(len(right_dict), dtype=np.int64)
@@ -333,6 +404,12 @@ def _composite_key(
     Returns ``None`` when the radix product would overflow (callers fall
     back to the dict path or to lexsort-based grouping).
     """
+    if len(columns) == 1:
+        # Single-column key: the codes already are the key.  Callers treat
+        # keys as read-only, so aliasing the column is safe.
+        if max(int(cards[0]), 1) > _MAX_RADIX:
+            return None
+        return columns[0]
     key = np.zeros(n, dtype=np.int64)
     radix = 1
     for col, card in zip(columns, cards):
@@ -408,6 +485,29 @@ def _shared_key_pair(left: ColumnarFactor, right: ColumnarFactor, shared):
     if left_key is None or right_key is None:
         return None
     return left_key, right_key, merged_dicts
+
+
+def _match_indices(left_key: np.ndarray, right_key: np.ndarray):
+    """Row-index pairs of the equi-join ``left_key = right_key``.
+
+    Sorts the right side and probes it with ``searchsorted``; match runs
+    are expanded with ``repeat``/``arange`` arithmetic.  Returns
+    ``(left_idx, right_idx)`` such that ``left_key[left_idx[i]] ==
+    right_key[right_idx[i]]`` enumerates every matching pair, grouped by
+    left row in left order.
+    """
+    order = np.argsort(right_key)
+    right_sorted = right_key[order]
+    lo = np.searchsorted(right_sorted, left_key, side="left")
+    hi = np.searchsorted(right_sorted, left_key, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_key), dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    right_idx = order[np.repeat(lo, counts) + within]
+    return left_idx, right_idx
 
 
 def _empty_like(
@@ -594,25 +694,13 @@ def columnar_join(
     out_schema = tuple(left.schema) + tuple(
         v for v in right.schema if v not in left.schema
     )
-    n_left = len(left)
 
     keys = _shared_key_pair(left, right, shared)
     if keys is None:
         return None
     left_key, right_key, merged_dicts = keys
 
-    order = np.argsort(right_key)
-    right_sorted = right_key[order]
-    lo = np.searchsorted(right_sorted, left_key, side="left")
-    hi = np.searchsorted(right_sorted, left_key, side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    left_idx = np.repeat(np.arange(n_left, dtype=np.int64), counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    right_idx = order[np.repeat(lo, counts) + within]
-
+    left_idx, right_idx = _match_indices(left_key, right_key)
     values = profile.mul(left.values[left_idx], right.values[right_idx])
     zero = profile.is_zero_mask(values)
     if zero.any():

@@ -121,7 +121,7 @@ def test_spec_hash_pinned():
         query_params={"edges": 3}, topology_params={"n": 3},
     )
     assert spec.content_hash() == (
-        "59b25938cffe0b198d2c7bdaa6e442c9692d0d80dd31d0669a361a49d55a74df"
+        "a2125b23ea1306cf36677b8d2d315fa5434e33481e83e0e69e8cda9c91a8bc8d"
     )
 
 
@@ -508,7 +508,7 @@ def test_cli_parity_command(tmp_path, capsys):
     artifact = os.path.join(out, ARTIFACT_FILENAME)
     assert lab_main(["parity", artifact]) == 0
     captured = capsys.readouterr().out
-    assert "engine parity OK" in captured
+    assert "parity OK" in captured
 
     # Tamper with the artifact: parity must fail loudly.
     payload = json.load(open(artifact))
@@ -536,3 +536,135 @@ def test_cli_engine_override(tmp_path, capsys):
     engines = [s["spec"]["engine"] for s in payload["scenarios"]]
     assert engines == ["generator", "compiled"]
     assert "timings" in payload
+
+
+# ---------------------------------------------------------------------------
+# The FAQ-solver axis
+# ---------------------------------------------------------------------------
+
+
+def test_spec_solver_axis_validated_and_hashed():
+    assert tiny_spec().solver == "operator"
+    compiled = tiny_spec(solver="compiled")
+    assert compiled.content_hash() != tiny_spec().content_hash()
+    assert "compiled" in compiled.label
+    with pytest.raises(ValueError, match="solver"):
+        tiny_spec(solver="jit")
+
+
+def test_with_solvers_pairs_every_scenario():
+    from repro.lab.suites import with_solvers
+
+    paired = with_solvers(tiny_suite(), "paired", "desc")
+    assert len(paired) == 2 * len(tiny_suite())
+    solvers = [s.solver for s in paired.scenarios]
+    assert solvers[:2] == ["operator", "compiled"]
+    assert paired.scenarios[0].with_(solver="compiled") == paired.scenarios[1]
+
+
+def test_solver_suites_registered():
+    names = suite_names()
+    assert "solver-scaling" in names
+    assert "solver-compare" in names
+    assert "solver-smoke" in names
+    compare = get_suite("solver-compare")
+    assert len(compare) == 2 * len(get_suite("solver-scaling"))
+    solvers = {s.solver for s in compare.scenarios}
+    assert solvers == {"operator", "compiled"}
+
+
+def test_execute_scenario_solver_parity_and_wall_clock():
+    op = execute_scenario(tiny_spec())
+    comp = execute_scenario(tiny_spec(solver="compiled"))
+    assert comp.answer_digest == op.answer_digest
+    assert comp.measured_rounds == op.measured_rounds
+    assert comp.total_bits == op.total_bits
+    assert op.solver_wall_time > 0.0
+    assert comp.solver_wall_time > 0.0
+
+
+def test_solver_parity_failures_detect_mismatch():
+    from repro.lab.report import parity_failures, solver_pairs
+
+    op = execute_scenario(tiny_spec()).deterministic_record()
+    comp = execute_scenario(tiny_spec(solver="compiled")).deterministic_record()
+    assert len(solver_pairs([op, comp])) == 1
+    assert parity_failures([op, comp], "solver") == []
+    # Engine pairing must NOT pair records differing in solver.
+    assert parity_failures([op, comp], "engine") == []
+    tampered = dict(comp)
+    tampered["answer_digest"] = "0" * 64
+    failures = parity_failures([op, tampered], "solver")
+    assert len(failures) == 1 and "answer_digest" in failures[0]
+
+
+def test_timings_payload_has_solver_pairs(tmp_path):
+    from repro.lab.report import artifact_payload
+    from repro.lab.suites import with_solvers
+
+    suite = with_solvers(tiny_suite("solver-timed"), "solver-timed", "desc")
+    run = run_suite(suite)
+    payload = artifact_payload(run, timings=True)
+    pairs = payload["timings"]["solver_pairs"]
+    assert len(pairs) == len(tiny_suite())
+    assert pairs[0]["operator_solver_s"] > 0
+    assert pairs[0]["compiled_solver_s"] > 0
+    assert payload["timings"]["solver_headline"]["rows"] >= 1
+    for scenario in payload["timings"]["scenarios"]:
+        assert "solver_wall_time" in scenario
+
+
+def test_cli_solver_override(tmp_path, capsys):
+    register_suite(
+        "cli-solver-suite",
+        lambda: SuiteSpec(name="cli-solver-suite", scenarios=(tiny_spec(),)),
+        overwrite=True,
+    )
+    out = str(tmp_path)
+    code = lab_main(
+        [
+            "run", "cli-solver-suite", "--solver", "both", "--timings",
+            "--out", out, "--no-cache", "--quiet",
+        ]
+    )
+    assert code == 0
+    artifact = os.path.join(out, ARTIFACT_FILENAME)
+    payload = json.load(open(artifact))
+    solvers = [s["spec"]["solver"] for s in payload["scenarios"]]
+    assert solvers == ["operator", "compiled"]
+    assert lab_main(["parity", artifact]) == 0
+    assert "solver pair(s) checked" in capsys.readouterr().out
+
+
+def test_plan_cache_hits_across_lab_grid_sweep():
+    """A grid sweep varying only seed/N compiles each structure once, and
+    a second pass over the same suite is plan-cache served entirely."""
+    from repro.faq import PLAN_CACHE
+
+    suite = SuiteSpec(
+        name="plan-cache-grid",
+        scenarios=expand_grid(
+            dict(
+                family="bcq-degenerate",
+                query="degenerate",
+                query_params={"vertices": 4, "d": 1},
+                topology="clique",
+                topology_params={"n": 3},
+                domain_size=8,
+                seed=11,
+                solver="compiled",
+            ),
+            n=[8, 12, 16],
+        ),
+    )
+    PLAN_CACHE.clear()
+    run_suite(suite)  # jobs=1: everything executes in this process
+    first = PLAN_CACHE.stats
+    assert first.misses > 0
+    baseline = first.misses
+    hits_before = first.hits
+    lookups = first.lookups
+    run_suite(suite)
+    second = PLAN_CACHE.stats
+    assert second.misses == baseline  # 100% plan-cache hits on the re-run
+    assert second.hits - hits_before == second.lookups - lookups
