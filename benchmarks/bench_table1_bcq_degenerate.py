@@ -26,7 +26,11 @@ from repro.network import Topology
 
 
 def run_rows():
-    return run_suite(table1_degenerate_suite()).results
+    results = run_suite(table1_degenerate_suite()).results
+    # Cut-accounting certification holds on every scenario (the formula
+    # bound is worst-case; these instances are random).
+    assert all(r.bound_ok for r in results)
+    return results
 
 
 def test_bcq_degenerate_gap_scales_with_d(benchmark):

@@ -10,12 +10,14 @@ better-connected topologies need fewer rounds for the same instance.
 
 import pytest
 
-from repro.core import format_table, gap_within_budget
+from repro.core import bound_certified, format_table, gap_within_budget
 from repro.lab import run_suite, table1_arbitrary_suite
 
 
 def run_rows():
-    return run_suite(table1_arbitrary_suite()).results
+    results = run_suite(table1_arbitrary_suite()).results
+    assert all(r.bound_ok for r in results)
+    return results
 
 
 def test_faq_arbitrary_topologies(benchmark):
@@ -25,6 +27,9 @@ def test_faq_arbitrary_topologies(benchmark):
     for row in rows:
         assert row.correct
         assert gap_within_budget(row), (row.topology, row.gap)
+        # Hard (TRIBES) instance under worst-case placement: the formula
+        # lower bound is certified on the run itself.
+        assert bound_certified(row), (row.measured_rounds, row.lower_formula)
 
 
 def test_connectivity_helps(benchmark):

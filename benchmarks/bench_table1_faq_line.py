@@ -12,13 +12,14 @@ row's shape assertions:
 
 import pytest
 
-from repro.core import format_table, gap_within_budget
+from repro.core import bound_certified, format_table, gap_within_budget
 from repro.lab import run_suite, table1_line_suite
 
 
 def run_rows():
     results = run_suite(table1_line_suite()).results
     assert all(r.gap is not None for r in results)
+    assert all(r.bound_ok for r in results)
     return results
 
 
@@ -29,6 +30,9 @@ def test_faq_line_row(benchmark):
     for row in rows:
         assert row.correct
         assert gap_within_budget(row), (row.label, row.gap, row.gap_budget)
+        # Hard (TRIBES) instance under worst-case placement: the formula
+        # lower bound is certified on the run itself.
+        assert bound_certified(row), (row.measured_rounds, row.lower_formula)
     # Linear-in-N shape: doubling N roughly doubles the rounds.
     for a, b in zip(rows, rows[1:]):
         ratio = b.measured_rounds / a.measured_rounds

@@ -1,6 +1,12 @@
 """Planner + analysis: the repository's headline API."""
 
-from .analysis import Table1Row, format_table, gap_within_budget, table1_row
+from .analysis import (
+    Table1Row,
+    bound_certified,
+    format_table,
+    gap_within_budget,
+    table1_row,
+)
 from .planner import (
     ExecutionReport,
     Planner,
@@ -21,4 +27,5 @@ __all__ = [
     "table1_row",
     "format_table",
     "gap_within_budget",
+    "bound_certified",
 ]

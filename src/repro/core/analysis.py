@@ -100,6 +100,23 @@ def format_table(rows: Sequence[Table1Row]) -> str:
     return "\n".join(lines)
 
 
+def bound_certified(row: Table1Row) -> bool:
+    """Tightness check: measured rounds >= the formula lower bound.
+
+    A constant-1 reading of the paper's ``Ω̃`` rounds bound.  The
+    canonical Table 1 hard rows (``faq-line``/``faq-arbitrary`` — star
+    and path TRIBES embeddings under the Lemma 4.4 worst-case
+    placement) run at gap >= 1, so their benches pin this as a
+    tightness regression.  It is **not** a general per-run theorem:
+    random instances may legitimately beat the worst-case statement,
+    and even hard forest shapes can beat the suppressed constant (see
+    ``docs/testing.md``); the lab's per-run oracle is
+    :func:`repro.lab.runner.certify_bounds` (cut accounting + the
+    TRIBES bits floor).
+    """
+    return row.measured_rounds + 1e-9 >= row.lower_formula
+
+
 def gap_within_budget(
     row: Table1Row, polylog_allowance: float = 64.0
 ) -> bool:

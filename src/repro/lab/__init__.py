@@ -7,11 +7,17 @@ artifacts.  CLI: ``python -m repro.lab run smoke --jobs 2``.
 """
 
 from .cache import ResultCache
+from .generate import fuzz_suite, generate_scenarios, sample_scenario
 from .report import (
     ARTIFACT_FILENAME,
+    PARITY_AXES,
+    all_parity_failures,
     artifact_bytes,
     artifact_payload,
+    bound_violations,
+    certification_payload,
     format_aggregate_table,
+    format_certification_table,
     format_results_table,
     render_csv,
     render_markdown,
@@ -25,6 +31,7 @@ from .results import (
     percentile,
 )
 from .runner import (
+    CERTIFIED_QUERY_FAMILIES,
     QUERY_FAMILIES,
     TOPOLOGY_FAMILIES,
     SuiteRun,
@@ -46,6 +53,8 @@ from .suites import (
     get_suite,
     register_suite,
     suite_names,
+    with_axes,
+    with_backends,
     table1_arbitrary_suite,
     table1_degenerate_suite,
     table1_hypergraph_suite,
@@ -71,7 +80,18 @@ __all__ = [
     "build_topology",
     "build_assignment",
     "QUERY_FAMILIES",
+    "CERTIFIED_QUERY_FAMILIES",
     "TOPOLOGY_FAMILIES",
+    "fuzz_suite",
+    "generate_scenarios",
+    "sample_scenario",
+    "PARITY_AXES",
+    "all_parity_failures",
+    "bound_violations",
+    "certification_payload",
+    "format_certification_table",
+    "with_axes",
+    "with_backends",
     "format_results_table",
     "format_aggregate_table",
     "render_markdown",

@@ -3,19 +3,22 @@
 Commands:
 
 * ``run <suite>`` — execute a registered suite, print the Table-1-style
-  scenario table and family aggregates, and write ``BENCH_lab.json``
-  (plus optional markdown/CSV) under ``--out``.  Exit code 1 when any
-  scenario's protocol answer disagrees with the centralized solver.
+  scenario table, family aggregates and the bound-certification table,
+  and write ``BENCH_lab.json`` (plus optional markdown/CSV) under
+  ``--out``.  Exit code 1 when any scenario's protocol answer disagrees
+  with the centralized solver, when any run violates its certified
+  lower bound, or when any engine/solver/backend pair breaks parity.
   ``--engine generator|compiled`` overrides every scenario's protocol
   engine; ``--engine both`` runs each scenario on both engines (paired,
   for parity checks and speedup measurements).  ``--solver
   operator|compiled|both`` does the same for the FAQ solver axis.
   ``--timings`` adds a volatile wall-clock section (per-scenario times
-  and per-pair engine/solver speedups) to the artifact.
+  and per-pair engine/solver speedups) to the artifact.  ``--seed N``
+  regenerates a generated (fuzz) suite from master seed N.
 * ``parity <BENCH_lab.json>`` — verify parity in an artifact: every pair
-  of scenarios differing only in the protocol engine or only in the FAQ
-  solver must agree exactly on answer digest, round count and total
-  bits.  Exit code 1 on any mismatch.
+  of scenarios differing only in the protocol engine, only in the FAQ
+  solver, or only in the storage backend must agree exactly on answer
+  digest, round count and total bits.  Exit code 1 on any mismatch.
 * ``list`` — show the registered suites with sizes and descriptions.
 
 Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
@@ -36,10 +39,13 @@ from ..faq import SOLVERS
 from ..protocols.faq_protocol import ENGINES
 from .cache import ResultCache
 from .report import (
+    all_parity_failures,
+    artifact_payload,
+    backend_pairs,
     engine_pairs,
     format_aggregate_table,
+    format_certification_table,
     format_results_table,
-    parity_failures,
     render_csv,
     render_markdown,
     solver_pairs,
@@ -105,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="add a volatile wall-clock section (per-scenario times, "
         "per-pair engine/solver speedups) to BENCH_lab.json",
     )
+    run_p.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="master seed for generated suites (fuzz*): regenerates the "
+        "whole scenario stream deterministically from N",
+    )
 
     parity_p = sub.add_parser(
         "parity", help="check engine parity in a BENCH_lab.json artifact"
@@ -128,17 +139,19 @@ def _cmd_parity(args: argparse.Namespace) -> int:
     records = payload.get("scenarios", [])
     e_pairs = engine_pairs(records)
     s_pairs = solver_pairs(records)
-    if not e_pairs and not s_pairs:
+    b_pairs = backend_pairs(records)
+    if not e_pairs and not s_pairs and not b_pairs:
         print(
-            "no engine or solver pairs in artifact (run a suite with "
-            "--engine both / --solver both, or the *-compare/*-smoke "
-            "suites)"
+            "no engine, solver or backend pairs in artifact (run a suite "
+            "with --engine both / --solver both, or the *-compare/"
+            "*-smoke/fuzz suites)"
         )
         return 1
-    failures = parity_failures(records, "engine") + parity_failures(
-        records, "solver"
+    failures = all_parity_failures(records)
+    print(
+        f"{len(e_pairs)} engine pair(s), {len(s_pairs)} solver pair(s), "
+        f"{len(b_pairs)} backend pair(s) checked"
     )
-    print(f"{len(e_pairs)} engine pair(s), {len(s_pairs)} solver pair(s) checked")
     if failures:
         print(f"PARITY FAILURES ({len(failures)}):", *failures, sep="\n  ")
         return 1
@@ -147,7 +160,7 @@ def _cmd_parity(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    suite = get_suite(args.suite)
+    suite = get_suite(args.suite, seed=args.seed)
     if args.engine == "both":
         suite = with_engines(
             suite, suite.name, suite.description or suite.name
@@ -177,11 +190,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         suite, jobs=args.jobs, cache=cache, force=args.force, log=log
     )
 
+    # The artifact payload (records + certification) is computed once
+    # and reused for the console output, the written artifact and the
+    # optional markdown report.
+    payload = artifact_payload(run, timings=args.timings)
+    records = payload["scenarios"]
+    cert = payload["certification"]
+    violations = cert["bound_violations"]
+    parity = all_parity_failures(records)
+
     print()
     print(format_results_table(run.results))
     print()
     print(format_aggregate_table(aggregate(run.results)))
     print()
+    print(format_certification_table(records))
+    print()
+    print(
+        f"certification: {cert['scenarios_checked']} scenarios checked "
+        f"({cert['formula_certified']} formula, {cert['cut_checked']} "
+        f"cut-accounting), {len(violations)} violation(s); "
+        f"{len(parity)} parity failure(s)"
+    )
     print(
         f"suite {suite.name!r}: {len(run.results)} scenarios, "
         f"{run.cache_hits} cached ({run.hit_rate:.0%}), "
@@ -189,12 +219,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"in {run.wall_time:.2f}s"
     )
 
-    artifact = write_artifact(run, args.out, timings=args.timings)
+    artifact = write_artifact(run, args.out, payload=payload)
     print(f"wrote {artifact}")
     if args.markdown:
         path = os.path.join(args.out, f"LAB_{suite.name}.md")
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(render_markdown(run))
+            fh.write(render_markdown(run, records=records))
         print(f"wrote {path}")
     if args.csv:
         path = os.path.join(args.out, f"LAB_{suite.name}.csv")
@@ -202,11 +232,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fh.write(render_csv(run.results))
         print(f"wrote {path}")
 
+    status = 0
     if not run.all_correct:
         bad = [r.spec.label for r in run.results if not r.correct]
         print(f"INCORRECT scenarios ({len(bad)}):", *bad, sep="\n  ")
-        return 1
-    return 0
+        status = 1
+    if violations:
+        print(f"BOUND VIOLATIONS ({len(violations)}):", *violations, sep="\n  ")
+        status = 1
+    if parity:
+        print(f"PARITY FAILURES ({len(parity)}):", *parity, sep="\n  ")
+        status = 1
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:

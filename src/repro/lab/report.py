@@ -16,7 +16,7 @@ import csv
 import io
 import json
 import os
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.analysis import format_table
 from .results import FamilyAggregate, ScenarioResult, aggregate
@@ -26,7 +26,9 @@ from .runner import SuiteRun
 ARTIFACT_FILENAME = "BENCH_lab.json"
 
 #: Artifact schema id; bump on breaking payload changes.
-ARTIFACT_SCHEMA = "repro.lab/bench.v1"
+#: v2: scenario records carry bound-certification fields and the payload
+#: gains a top-level ``certification`` block.
+ARTIFACT_SCHEMA = "repro.lab/bench.v2"
 
 
 def format_results_table(results: Sequence[ScenarioResult]) -> str:
@@ -52,8 +54,14 @@ def format_aggregate_table(aggregates: Sequence[FamilyAggregate]) -> str:
     return "\n".join(lines)
 
 
-def render_markdown(run: SuiteRun) -> str:
-    """A self-contained markdown report for a suite run."""
+def render_markdown(
+    run: SuiteRun, records: Optional[List[Dict[str, Any]]] = None
+) -> str:
+    """A self-contained markdown report for a suite run.
+
+    Pass precomputed deterministic ``records`` (suite order) to reuse
+    them; otherwise they are derived here.
+    """
     aggregates = aggregate(run.results)
     lines = [
         f"# repro.lab suite `{run.suite.name}`",
@@ -90,6 +98,25 @@ def render_markdown(run: SuiteRun) -> str:
             f"| {agg.rounds_max} | {fmt(agg.gap_median)} "
             f"| {fmt(agg.gap_p90)} | {fmt(agg.gap_max)} |"
         )
+    if records is None:
+        records = [r.deterministic_record() for r in run.results]
+    cert = certification_payload(records)
+    lines += [
+        "",
+        "## Bound certification",
+        "",
+        f"{cert['scenarios_checked']} scenarios checked: "
+        f"{cert['formula_certified']} against the TRIBES bits floor, "
+        f"{cert['cut_checked']} against the cut-accounting bound; "
+        f"{len(cert['bound_violations'])} violation(s).",
+        "",
+        "```",
+        format_certification_table(records),
+        "```",
+    ]
+    if cert["bound_violations"]:
+        lines += ["", "### Violations", ""]
+        lines += [f"- {v}" for v in cert["bound_violations"]]
     return "\n".join(lines) + "\n"
 
 
@@ -103,7 +130,9 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             "engine", "solver", "semiring", "n", "seed", "players", "d",
             "r", "rows", "measured_rounds", "total_bits",
             "link_utilization", "upper_formula", "lower_formula",
-            "gap", "gap_budget", "correct", "spec_hash",
+            "gap", "gap_budget", "lower_certified", "formula_certified",
+            "tribes_bits_floor", "bound_ok", "cut_bits", "cut_size",
+            "correct", "spec_hash",
         ]
     )
     for r in results:
@@ -116,14 +145,18 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
                 r.measured_rounds, r.total_bits, r.link_utilization,
                 r.upper_formula, r.lower_formula,
                 "" if r.gap is None else r.gap,
-                r.gap_budget, int(r.correct), r.spec_hash,
+                r.gap_budget, r.lower_certified,
+                int(r.formula_certified), r.tribes_bits_floor,
+                int(r.bound_ok), r.cut_bits, r.cut_size,
+                int(r.correct), r.spec_hash,
             ]
         )
     return buf.getvalue()
 
 
-#: Per-axis default value for records predating the axis.
-_AXIS_DEFAULTS = {"engine": "generator", "solver": "operator"}
+#: Per-axis default value for records predating the axis.  ``backend``
+#: is an axis too (``None`` = the query's native storage).
+_AXIS_DEFAULTS = {"engine": "generator", "solver": "operator", "backend": None}
 
 
 def _pair_key(spec_record: Dict[str, Any], axis: str = "engine") -> str:
@@ -167,19 +200,140 @@ def solver_pairs(
     return axis_pairs(records, "solver")
 
 
+def backend_pairs(
+    records: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Dict[str, Any]]]:
+    """Records paired across the storage-backend axis."""
+    return axis_pairs(records, "backend")
+
+
+#: The three differential axes every fuzzed scenario is swept across.
+PARITY_AXES = ("engine", "solver", "backend")
+
+
+def all_parity_failures(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Parity violations across every axis in :data:`PARITY_AXES`."""
+    failures: List[str] = []
+    for axis in PARITY_AXES:
+        failures.extend(
+            f"[{axis}] {message}"
+            for message in parity_failures(records, axis)
+        )
+    return failures
+
+
+def bound_violations(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Lower-bound certification violations among scenario records.
+
+    A record violates when its certification oracle failed
+    (``bound_ok`` False): the Lemma 4.4 cut accounting identity broke
+    (``cut_ok`` False — equivalently the run undercut its certified
+    round lower bound), or a TRIBES-embedded worst-case run pushed
+    fewer bits across the min cut than the embedded instance's content
+    (``cut_bits < tribes_bits_floor``).  The list must be empty on
+    every suite; any entry is a bug in a bound formula, an engine's
+    round/bit accounting, or the simulator.
+    """
+    violations: List[str] = []
+    for record in records:
+        if record.get("bound_ok", True):
+            continue
+        if not record.get("cut_ok", True):
+            reason = (
+                f"cut accounting broke: {record.get('cut_bits')} bits "
+                f"crossed a cut of {record.get('cut_size')} edges in "
+                f"{record['measured_rounds']} rounds"
+            )
+        elif record.get("cut_bits", 0) < record.get("tribes_bits_floor", 0):
+            reason = (
+                f"only {record.get('cut_bits')} bits crossed the cut < "
+                f"TRIBES floor {record.get('tribes_bits_floor')}"
+            )
+        else:
+            # Fallback for tampered/inconsistent records: flagged but
+            # neither conjunct reproduces from the recorded numbers.
+            reason = (
+                f"flagged bound_ok=False (measured "
+                f"{record['measured_rounds']} rounds, certified lower "
+                f"{record.get('lower_certified')})"
+            )
+        violations.append(f"{record['label']}: {reason}")
+    return violations
+
+
+def certification_payload(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The certification block of the bench artifact.
+
+    Deterministic (pure function of the scenario records): how many
+    scenarios each oracle covered, the violation list (must be empty),
+    and the per-family gap envelope of the formula-certified scenarios.
+    """
+    violations = bound_violations(records)
+    formula = [r for r in records if r.get("formula_certified", False)]
+    families: Dict[str, Dict[str, Any]] = {}
+    for record in formula:
+        fam = families.setdefault(
+            record["family"],
+            {"scenarios": 0, "gap_min": None, "gap_max": None},
+        )
+        fam["scenarios"] += 1
+        gap = record.get("gap")
+        if gap is not None:
+            fam["gap_min"] = gap if fam["gap_min"] is None else min(fam["gap_min"], gap)
+            fam["gap_max"] = gap if fam["gap_max"] is None else max(fam["gap_max"], gap)
+    return {
+        "scenarios_checked": len(records),
+        "formula_certified": len(formula),
+        "cut_checked": sum(1 for r in records if r.get("cut_size", 0) > 0),
+        "bound_violations": violations,
+        "formula_families": families,
+    }
+
+
+def format_certification_table(records: Sequence[Dict[str, Any]]) -> str:
+    """The human-readable certification summary block.
+
+    One row per family: scenario count, how many were formula-certified
+    vs cut-certified, the tightest margin (measured rounds over the
+    certified lower bound), and the violation count.
+    """
+    by_family: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_family.setdefault(record["family"], []).append(record)
+    header = (
+        f"{'family':<18} {'runs':>4} {'formula':>7} {'cut':>5} "
+        f"{'margin':>8} {'violations':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for family, group in by_family.items():
+        margins = [
+            record["measured_rounds"] - record.get("lower_certified", 0.0)
+            for record in group
+        ]
+        lines.append(
+            f"{family:<18} {len(group):>4} "
+            f"{sum(1 for r in group if r.get('formula_certified', False)):>7} "
+            f"{sum(1 for r in group if r.get('cut_size', 0) > 0):>5} "
+            f"{min(margins):>8.1f} "
+            f"{sum(1 for r in group if not r.get('bound_ok', True)):>10}"
+        )
+    return "\n".join(lines)
+
+
 def parity_failures(
     records: Sequence[Dict[str, Any]], axis: str = "engine"
 ) -> List[str]:
     """Parity violations among scenario records along one axis.
 
-    For every pair differing only in ``spec.<axis>`` (protocol engine or
-    FAQ solver), the answer digest, round count and total bits must be
-    exactly equal; any difference is a correctness bug on one side,
-    never a tolerable deviation.
+    For every pair differing only in ``spec.<axis>`` (protocol engine,
+    FAQ solver or storage backend), the answer digest, round count and
+    total bits must be exactly equal; any difference is a correctness
+    bug on one side, never a tolerable deviation.
     """
     failures: List[str] = []
     for pair in axis_pairs(records, axis):
-        values = sorted(pair)
+        # The backend axis includes None ("native"); sort it first.
+        values = sorted(pair, key=lambda v: (v is not None, v or ""))
         baseline_value = values[0]
         baseline = pair[baseline_value]
         for value in values[1:]:
@@ -288,6 +442,7 @@ def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
     byte-for-byte reproducibility guarantee no longer applies to it).
     """
     aggregates = aggregate(run.results)
+    records = [r.deterministic_record() for r in run.results]
     payload = {
         "schema": ARTIFACT_SCHEMA,
         "suite": run.suite.name,
@@ -295,25 +450,39 @@ def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
         "families": list(run.suite.families),
         "scenario_count": len(run.results),
         "all_correct": run.all_correct,
-        "scenarios": [r.deterministic_record() for r in run.results],
+        "scenarios": records,
         "aggregates": [a.to_record() for a in aggregates],
+        "certification": certification_payload(records),
     }
     if timings:
         payload["timings"] = timings_payload(run)
     return payload
 
 
-def artifact_bytes(run: SuiteRun, timings: bool = False) -> bytes:
-    """Canonical serialization (sorted keys, fixed separators, UTF-8)."""
-    payload = artifact_payload(run, timings=timings)
+def artifact_bytes(
+    run: SuiteRun, timings: bool = False, payload: Optional[Dict[str, Any]] = None
+) -> bytes:
+    """Canonical serialization (sorted keys, fixed separators, UTF-8).
+
+    Pass a precomputed ``payload`` (from :func:`artifact_payload`) to
+    serialize it as-is — the CLI does this so records and certification
+    are computed exactly once per run.
+    """
+    if payload is None:
+        payload = artifact_payload(run, timings=timings)
     text = json.dumps(payload, sort_keys=True, indent=2, allow_nan=False)
     return (text + "\n").encode("utf-8")
 
 
-def write_artifact(run: SuiteRun, out_dir: str, timings: bool = False) -> str:
+def write_artifact(
+    run: SuiteRun,
+    out_dir: str,
+    timings: bool = False,
+    payload: Optional[Dict[str, Any]] = None,
+) -> str:
     """Write ``BENCH_lab.json`` under ``out_dir``; returns the path."""
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, ARTIFACT_FILENAME)
     with open(path, "wb") as fh:
-        fh.write(artifact_bytes(run, timings=timings))
+        fh.write(artifact_bytes(run, timings=timings, payload=payload))
     return path

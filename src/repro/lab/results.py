@@ -29,7 +29,9 @@ from .spec import ScenarioSpec
 #: Bump together with cache-incompatible result changes.
 #: v2: records carry total_bits and link_utilization (the two-plane
 #: engine's bit-accounting parity contract needs both in artifacts).
-RESULT_SCHEMA = "repro.lab/result.v2"
+#: v3: records carry the bound-certification fields (certified lower
+#: bound, cut-accounting transcript numbers, violation flags).
+RESULT_SCHEMA = "repro.lab/result.v3"
 
 
 @dataclass
@@ -56,6 +58,25 @@ class ScenarioResult:
         gap: measured / lower, or None when the lower bound is 0
             (co-located runs) — kept None so artifacts stay strict JSON.
         gap_budget: The Table 1 gap-column budget for this family.
+        lower_certified: The certified round lower bound for *this
+            run*: the cut-accounting bound (crossing bits / (cut * B)).
+            ``measured_rounds`` must never undercut it.
+        formula_certified: Whether the Lemma 4.4 reduction applies to
+            this run (hard-* query family under worst-case placement),
+            i.e. the TRIBES bits floor is enforced.
+        tribes_bits_floor: On formula-certified runs, the bits the
+            embedded TRIBES instance must push across the min cut
+            (``m * N``, constant 1); 0 otherwise.  ``cut_bits`` must
+            never undercut it.
+        bound_ok: The certification oracle: cut accounting held,
+            ``measured_rounds >= lower_certified``, and ``cut_bits >=
+            tribes_bits_floor``.  Any False is a bound violation — a
+            bug, never a tolerable deviation.
+        cut_bits: Bits the run actually sent across a minimum
+            K-separating cut (the induced two-party transcript cost).
+        cut_size: Number of crossing edges of that cut.
+        cut_ok: The Lemma 4.4 accounting identity held
+            (``cut_bits <= rounds * cut_size * B``).
         correct: Protocol answer matched the centralized solver.
         answer_digest: sha256 of the canonicalized answer factor.
         wall_time: Seconds spent executing (volatile; excluded from the
@@ -83,6 +104,13 @@ class ScenarioResult:
     lower_formula: float
     gap: Optional[float]
     gap_budget: float
+    lower_certified: float
+    formula_certified: bool
+    tribes_bits_floor: int
+    bound_ok: bool
+    cut_bits: int
+    cut_size: int
+    cut_ok: bool
     correct: bool
     answer_digest: str
     wall_time: float = 0.0
@@ -114,6 +142,13 @@ class ScenarioResult:
             "lower_formula": self.lower_formula,
             "gap": self.gap,
             "gap_budget": self.gap_budget,
+            "lower_certified": self.lower_certified,
+            "formula_certified": self.formula_certified,
+            "tribes_bits_floor": self.tribes_bits_floor,
+            "bound_ok": self.bound_ok,
+            "cut_bits": self.cut_bits,
+            "cut_size": self.cut_size,
+            "cut_ok": self.cut_ok,
             "correct": self.correct,
             "answer_digest": self.answer_digest,
         }
@@ -139,6 +174,15 @@ class ScenarioResult:
             lower_formula=record["lower_formula"],
             gap=record["gap"],
             gap_budget=record["gap_budget"],
+            # .get defaults keep pre-v3 records readable (certification
+            # fields absent there are treated as unchecked-but-clean).
+            lower_certified=record.get("lower_certified", 0.0),
+            formula_certified=record.get("formula_certified", False),
+            tribes_bits_floor=record.get("tribes_bits_floor", 0),
+            bound_ok=record.get("bound_ok", True),
+            cut_bits=record.get("cut_bits", 0),
+            cut_size=record.get("cut_size", 0),
+            cut_ok=record.get("cut_ok", True),
             correct=record["correct"],
             answer_digest=record["answer_digest"],
             wall_time=0.0,
@@ -222,7 +266,11 @@ class FamilyAggregate:
         rounds_median / rounds_p90 / rounds_max: Round statistics.
         gap_median / gap_p90 / gap_max: Gap statistics over scenarios
             with a finite gap (None when no scenario had one).
+        gap_min: The smallest gap — the certification-facing tail: on
+            formula-certified families it must stay >= 1.
         gap_budget_max: The largest budget among the family's scenarios.
+        bound_violations: Scenarios whose certification oracle failed
+            (``bound_ok`` False).  Must be 0 everywhere.
     """
 
     family: str
@@ -234,7 +282,9 @@ class FamilyAggregate:
     gap_median: Optional[float]
     gap_p90: Optional[float]
     gap_max: Optional[float]
+    gap_min: Optional[float]
     gap_budget_max: float
+    bound_violations: int
 
     def to_record(self) -> Dict[str, Any]:
         return {
@@ -247,7 +297,9 @@ class FamilyAggregate:
             "gap_median": self.gap_median,
             "gap_p90": self.gap_p90,
             "gap_max": self.gap_max,
+            "gap_min": self.gap_min,
             "gap_budget_max": self.gap_budget_max,
+            "bound_violations": self.bound_violations,
         }
 
 
@@ -271,7 +323,9 @@ def aggregate(results: Sequence[ScenarioResult]) -> List[FamilyAggregate]:
                 gap_median=percentile(gaps, 50.0) if gaps else None,
                 gap_p90=percentile(gaps, 90.0) if gaps else None,
                 gap_max=max(gaps) if gaps else None,
+                gap_min=min(gaps) if gaps else None,
                 gap_budget_max=max(r.gap_budget for r in group),
+                bound_violations=sum(1 for r in group if not r.bound_ok),
             )
         )
     return out

@@ -31,7 +31,10 @@ from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 #: v3: scenarios carry a protocol engine axis; results record bit totals
 #: and link utilization.
 #: v4: scenarios carry an FAQ solver axis (operator vs compiled plans).
-SPEC_VERSION = 4
+#: v5: the fuzzed scenario plane — forest/hard-forest query families,
+#: bound-certification fields on every result (certified lower bound,
+#: cut-accounting transcript, violation flags).
+SPEC_VERSION = 5
 
 #: Assignment policies the runner implements.
 ASSIGNMENTS = ("round-robin", "single", "worst-case")

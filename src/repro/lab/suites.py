@@ -13,7 +13,11 @@ Built-ins:
   engines, for the engine-parity gate;
 * ``solver-scaling`` / ``solver-compare`` / ``solver-smoke`` — the FAQ
   solver axis: sweeps sized so the reference solve dominates, paired
-  across ``solver="operator"``/``"compiled"`` for the solver-parity gate.
+  across ``solver="operator"``/``"compiled"`` for the solver-parity gate;
+* ``fuzz`` / ``fuzz-smoke`` — the fuzzed scenario plane
+  (:mod:`repro.lab.generate`): seeded random scenarios, each swept
+  across the full engine x solver x backend grid, with lower-bound
+  certification on every run (re-seedable via ``run fuzz --seed N``).
 
 Register custom suites with :func:`register_suite`; builders are lazy so
 importing this module stays cheap.
@@ -21,36 +25,67 @@ importing this module stays cheap.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from ..faq import SOLVERS
 from ..protocols.faq_protocol import ENGINES
+from ..semiring import BACKENDS
 from .spec import ScenarioSpec, SuiteSpec, expand_grid
 
 #: Master seed for the built-in suites (the paper's PODS'19 publication
 #: date) — any fixed value works; it only has to be explicit.
 DEFAULT_SEED = 20190625
 
-_REGISTRY: Dict[str, Callable[[], SuiteSpec]] = {}
+_REGISTRY: Dict[str, Callable[..., SuiteSpec]] = {}
 
 
 def register_suite(
-    name: str, builder: Callable[[], SuiteSpec], overwrite: bool = False
+    name: str, builder: Callable[..., SuiteSpec], overwrite: bool = False
 ) -> None:
-    """Register a lazy suite builder under ``name``."""
+    """Register a lazy suite builder under ``name``.
+
+    A builder may accept a ``seed`` keyword; :func:`get_suite` forwards
+    an explicit seed to those (the fuzz suites regenerate their whole
+    scenario stream from it).
+    """
     if not overwrite and name in _REGISTRY:
         raise ValueError(f"suite {name!r} is already registered")
     _REGISTRY[name] = builder
 
 
-def get_suite(name: str) -> SuiteSpec:
-    """Build the registered suite ``name``."""
+def _accepts_seed(builder: Callable[..., SuiteSpec]) -> bool:
+    try:
+        return "seed" in inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # builtins without signatures
+        return False
+
+
+def get_suite(name: str, seed: Optional[int] = None) -> SuiteSpec:
+    """Build the registered suite ``name``.
+
+    Args:
+        name: Registered suite name.
+        seed: Optional master seed override for generated (fuzz) suites.
+
+    Raises:
+        ValueError: on an unknown name, or when ``seed`` is passed for a
+            fixed (non-generated) suite — silently ignoring it would
+            misreport what actually ran.
+    """
     try:
         builder = _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise ValueError(f"unknown suite {name!r}; known suites: {known}")
-    return builder()
+    if seed is None:
+        return builder()
+    if not _accepts_seed(builder):
+        raise ValueError(
+            f"suite {name!r} is a fixed suite and takes no seed; only "
+            f"generated suites (fuzz*) are re-seedable"
+        )
+    return builder(seed=seed)
 
 
 def suite_names() -> List[str]:
@@ -437,6 +472,46 @@ def _solver_smoke_suite() -> SuiteSpec:
     )
 
 
+def with_backends(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Pair every scenario of ``suite`` across both storage backends.
+
+    The third axis twin of :func:`with_engines`/:func:`with_solvers`:
+    consecutive scenarios differ only in ``backend`` and must agree on
+    answer digest, round count and total bits.
+    """
+    scenarios = tuple(
+        spec.with_(backend=backend)
+        for spec in suite.scenarios
+        for backend in BACKENDS
+    )
+    return SuiteSpec(name=name, scenarios=scenarios, description=description)
+
+
+def with_axes(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Sweep every scenario across the full engine x solver x backend
+    grid (8 planes per scenario).
+
+    Each consecutive block of 8 shares one scenario identity; the
+    ``parity`` command and :func:`repro.lab.report.all_parity_failures`
+    then assert the byte-identical contract pairwise along every axis.
+    """
+    suite = with_engines(suite, name, description)
+    suite = with_solvers(suite, name, description)
+    return with_backends(suite, name, description)
+
+
+def _fuzz_suite(seed: int = DEFAULT_SEED) -> SuiteSpec:
+    from .generate import fuzz_suite
+
+    return fuzz_suite(master_seed=seed, count=50, name="fuzz")
+
+
+def _fuzz_smoke_suite(seed: int = DEFAULT_SEED) -> SuiteSpec:
+    from .generate import fuzz_suite
+
+    return fuzz_suite(master_seed=seed, count=6, name="fuzz-smoke")
+
+
 register_suite("smoke", _smoke_suite)
 register_suite("table1", _table1_suite)
 register_suite("table1-line", table1_line_suite)
@@ -450,3 +525,5 @@ register_suite("engine-smoke", _engine_smoke_suite)
 register_suite("solver-scaling", _solver_scaling_suite)
 register_suite("solver-compare", _solver_compare_suite)
 register_suite("solver-smoke", _solver_smoke_suite)
+register_suite("fuzz", _fuzz_suite)
+register_suite("fuzz-smoke", _fuzz_smoke_suite)

@@ -9,6 +9,7 @@ from .bounds import (
     table1_gap_budget,
 )
 from .cut_simulation import (
+    CutAccountingError,
     CutTranscript,
     cut_transcript,
     implied_round_lower_bound,
@@ -40,6 +41,7 @@ from .tribes import (
 
 __all__ = [
     "CutTranscript",
+    "CutAccountingError",
     "cut_transcript",
     "verify_cut_accounting",
     "implied_round_lower_bound",

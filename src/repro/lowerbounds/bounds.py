@@ -41,9 +41,14 @@ class BoundReport:
 
     @property
     def gap(self) -> float:
-        """``upper / lower`` — compared against Table 1's gap column."""
+        """``upper / lower`` — compared against Table 1's gap column.
+
+        A zero-bit report (both bounds 0, e.g. a co-located run) has gap
+        1.0 — the bounds agree vacuously; only a positive upper over a
+        zero lower is genuinely unbounded.
+        """
         if self.lower_rounds <= 0:
-            return math.inf
+            return 1.0 if self.upper_rounds <= 0 else math.inf
         return self.upper_rounds / self.lower_rounds
 
 
@@ -114,7 +119,14 @@ def bcq_bounds(
     """
     params = structure_parameters(hypergraph)
     terminals = sorted(set(players))
-    cut = mincut(topology, terminals) if len(terminals) > 1 else 1
+    if len(terminals) <= 1 or topology.num_nodes < 2:
+        # Zero-bit scenario: one player (or a single-node topology) holds
+        # everything, no communication happens, both bounds are 0.  Keep
+        # the structure parameters so reports still show d/r.
+        components = dict(params)
+        components.update({"co_located": 1.0, "N": float(n)})
+        return BoundReport(0.0, 0.0, components)
+    cut = mincut(topology, terminals)
     st = steiner_term(topology, terminals, n)
     y, n2, d, r = params["y"], params["n2"], params["d"], params["r"]
 
@@ -176,7 +188,13 @@ def table1_gap_budget(row: str, d: float, r: float) -> float:
     ``Õ(1)`` rows get a generous polylog allowance; the d-dependent rows
     get ``c*d`` and ``c*d²r²`` budgets.  Benchmarks assert
     ``measured_gap <= polylog_allowance * budget``.
+
+    ``d``/``r`` are clamped to at least 1: a degenerate structure report
+    (e.g. an edgeless query, d = 0) must never produce a zero budget that
+    fails every gap check vacuously.
     """
+    d = max(1.0, float(d))
+    r = max(1.0, float(r))
     if row in ("faq-line", "faq-arbitrary"):
         return 1.0
     if row == "bcq-degenerate":

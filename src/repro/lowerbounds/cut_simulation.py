@@ -83,6 +83,16 @@ def cut_transcript(
     )
 
 
+class CutAccountingError(AssertionError):
+    """The Lemma 4.4 accounting identity failed — a simulator/engine bug.
+
+    An :class:`AssertionError` subclass for backward compatibility, but
+    raised explicitly so the check survives ``python -O`` (a bare
+    ``assert`` would be compiled out and silently disable the lab's
+    bound-certification oracle).
+    """
+
+
 def verify_cut_accounting(
     transcript: CutTranscript, capacity_bits: int
 ) -> None:
@@ -92,15 +102,16 @@ def verify_cut_accounting(
     observed crossing bits can never exceed ``rounds * cut * capacity``.
 
     Raises:
-        AssertionError: if the run violated the accounting identity
+        CutAccountingError: if the run violated the accounting identity
             (which would indicate a simulator bug).
     """
     budget = transcript.rounds * transcript.cut_size * capacity_bits
-    assert transcript.bits_crossing <= budget, (
-        f"{transcript.bits_crossing} bits crossed a cut of size "
-        f"{transcript.cut_size} in {transcript.rounds} rounds at "
-        f"{capacity_bits} bits/round"
-    )
+    if transcript.bits_crossing > budget:
+        raise CutAccountingError(
+            f"{transcript.bits_crossing} bits crossed a cut of size "
+            f"{transcript.cut_size} in {transcript.rounds} rounds at "
+            f"{capacity_bits} bits/round"
+        )
 
 
 def implied_round_lower_bound(

@@ -2,10 +2,12 @@
 
 from .generators import (
     SEED_SPACE,
+    STRUCTURE_KINDS,
     domains_for,
     make_rng,
     spawn_seeds,
     matching_relation,
+    random_query_structure,
     random_acyclic_hypergraph,
     random_d_degenerate_query,
     random_forest_query,
@@ -17,6 +19,8 @@ from .generators import (
 
 __all__ = [
     "SEED_SPACE",
+    "STRUCTURE_KINDS",
+    "random_query_structure",
     "make_rng",
     "spawn_seeds",
     "random_tree_query",

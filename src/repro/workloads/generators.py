@@ -146,6 +146,47 @@ def random_acyclic_hypergraph(
     return Hypergraph(edges)
 
 
+#: Named query-structure generators, the dispatch surface the lab's
+#: query-family builders (:mod:`repro.lab.runner`) go through.  Each value
+#: is ``(generator, parameter names)``; every generator takes its
+#: parameters positionally plus a ``seed`` keyword.
+STRUCTURE_KINDS: Dict[str, Tuple[Any, Tuple[str, ...]]] = {
+    "tree": (random_tree_query, ("num_edges",)),
+    "forest": (random_forest_query, ("num_trees", "edges_per_tree")),
+    "degenerate": (random_d_degenerate_query, ("num_vertices", "d")),
+    "acyclic": (random_acyclic_hypergraph, ("num_edges", "arity")),
+}
+
+
+def random_query_structure(
+    kind: str, seed: Optional[int] = None, **params: int
+) -> Hypergraph:
+    """Generate a random query hypergraph of the named structure ``kind``.
+
+    The uniform entry point over :data:`STRUCTURE_KINDS` (what the lab
+    runner's tree/forest/degenerate/acyclic/hard-forest families call):
+    looks up the generator, checks the parameter names, and forwards the
+    seed.  The
+    structural invariant each kind claims (tree/forest acyclicity,
+    d-degeneracy, alpha-acyclicity with bounded arity) is property-tested
+    in ``tests/test_workloads.py``.
+
+    Raises:
+        ValueError: on an unknown kind or wrong parameter names.
+    """
+    try:
+        generator, names = STRUCTURE_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(STRUCTURE_KINDS))
+        raise ValueError(f"unknown structure kind {kind!r}; known: {known}")
+    if set(params) != set(names):
+        raise ValueError(
+            f"structure kind {kind!r} takes parameters {names}, "
+            f"got {tuple(sorted(params))}"
+        )
+    return generator(*(params[name] for name in names), seed=seed)
+
+
 # ---------------------------------------------------------------------------
 # Relation generators
 # ---------------------------------------------------------------------------
@@ -181,11 +222,24 @@ def random_weighted_relation(
     name: Optional[str] = None,
     low: float = 0.1,
     high: float = 1.0,
+    exact: bool = False,
 ) -> Factor:
-    """A random relation with uniform float annotations in [low, high]."""
+    """A random relation with uniform float annotations in [low, high].
+
+    With ``exact=True`` annotations are instead small integers (1..8, as
+    floats): every product and sum of such values stays well inside the
+    53-bit double mantissa, so non-associative float folds (the real
+    semiring's ⊕ over different backends/solvers) agree *byte-for-byte*
+    regardless of reduction order.  The differential fuzz plane requires
+    this — with uniform doubles, dict and columnar marginalization would
+    legitimately differ in the last ulp and parity would be noise.
+    """
     rng = make_rng(seed)
     base = random_relation(schema, domains, size, seed=rng.randrange(2**30))
-    rows = {t: rng.uniform(low, high) for t in base.tuples()}
+    if exact:
+        rows = {t: float(rng.randint(1, 8)) for t in base.tuples()}
+    else:
+        rows = {t: rng.uniform(low, high) for t in base.tuples()}
     return Factor(base.schema, rows, semiring, name)
 
 
@@ -227,8 +281,14 @@ def random_instance(
     seed: Optional[int] = None,
     semiring: Semiring = BOOLEAN,
     weighted: bool = False,
+    exact: bool = False,
 ) -> Tuple[Dict[str, Factor], Dict[str, Tuple[int, ...]]]:
     """Random factors + domains for every hyperedge of ``hypergraph``.
+
+    ``exact`` is forwarded to :func:`random_weighted_relation`: integral
+    annotations whose folds are order-independent in double precision
+    (what the lab's byte-identical parity contract needs on the real
+    semiring).
 
     Returns:
         ``(factors, domains)`` ready to build an
@@ -242,7 +302,8 @@ def random_instance(
         sub_seed = rng.randrange(2**30)
         if weighted:
             factors[name] = random_weighted_relation(
-                schema, domains, relation_size, semiring, sub_seed, name
+                schema, domains, relation_size, semiring, sub_seed, name,
+                exact=exact,
             )
         else:
             factors[name] = random_relation(

@@ -76,3 +76,21 @@ def test_gap_within_budget_boundaries():
     assert not gap_within_budget(row_with(2.1, 1.0), polylog_allowance=2.0)
     # A bigger structural budget absorbs a bigger gap.
     assert gap_within_budget(row_with(100.0, 2.0))
+
+
+def test_bound_certified_checks_measured_against_lower():
+    from repro.core import bound_certified
+
+    def row(measured_rounds, lower_formula):
+        return Table1Row(
+            label="l", query="q", topology="t", d=1.0, r=2.0, n=8,
+            measured_rounds=measured_rounds, upper_formula=100.0,
+            lower_formula=lower_formula, gap=1.0, gap_budget=1.0,
+            correct=True,
+        )
+
+    assert bound_certified(row(100, 64.0))
+    assert bound_certified(row(64, 64.0))
+    assert not bound_certified(row(63, 64.0))
+    # Zero-bit rows certify vacuously.
+    assert bound_certified(row(0, 0.0))

@@ -120,8 +120,9 @@ def test_spec_hash_pinned():
         family="pin", query="tree", topology="line", n=8, seed=1,
         query_params={"edges": 3}, topology_params={"n": 3},
     )
+    # SPEC_VERSION 5: the fuzzed scenario plane + certification fields.
     assert spec.content_hash() == (
-        "a2125b23ea1306cf36677b8d2d315fa5434e33481e83e0e69e8cda9c91a8bc8d"
+        "b90c3ba747a30668865b24dbb3a65cc27d9c5867641079cacdd5a772d406b427"
     )
 
 
@@ -379,16 +380,22 @@ def test_smoke_suite_covers_required_diversity():
 def test_artifact_payload_shape(tmp_path):
     run = run_suite(SuiteSpec("one", (tiny_spec(),)))
     payload = json.loads(artifact_bytes(run))
-    assert payload["schema"] == "repro.lab/bench.v1"
+    assert payload["schema"] == "repro.lab/bench.v2"
     assert payload["suite"] == "one"
     assert payload["scenario_count"] == 1
     assert payload["all_correct"] is True
     (scenario,) = payload["scenarios"]
     assert scenario["spec"]["seed"] == 11
     assert scenario["measured_rounds"] >= 0
+    assert scenario["bound_ok"] is True
+    assert scenario["cut_ok"] is True
     (agg,) = payload["aggregates"]
     assert agg["family"] == "bcq-degenerate"
     assert agg["scenarios"] == 1
+    assert agg["bound_violations"] == 0
+    cert = payload["certification"]
+    assert cert["scenarios_checked"] == 1
+    assert cert["bound_violations"] == []
 
 
 def test_aggregate_groups_by_family():
@@ -633,7 +640,7 @@ def test_cli_solver_override(tmp_path, capsys):
     solvers = [s["spec"]["solver"] for s in payload["scenarios"]]
     assert solvers == ["operator", "compiled"]
     assert lab_main(["parity", artifact]) == 0
-    assert "solver pair(s) checked" in capsys.readouterr().out
+    assert "solver pair(s)" in capsys.readouterr().out
 
 
 def test_plan_cache_hits_across_lab_grid_sweep():
@@ -668,3 +675,61 @@ def test_plan_cache_hits_across_lab_grid_sweep():
     second = PLAN_CACHE.stats
     assert second.misses == baseline  # 100% plan-cache hits on the re-run
     assert second.hits - hits_before == second.lookups - lookups
+
+
+# ---------------------------------------------------------------------------
+# Bound certification (the fuzzed scenario plane's oracle)
+# ---------------------------------------------------------------------------
+
+
+def test_result_records_carry_certification_fields():
+    record = execute_scenario(tiny_spec()).deterministic_record()
+    for field in (
+        "lower_certified", "formula_certified", "tribes_bits_floor",
+        "bound_ok", "cut_bits", "cut_size", "cut_ok",
+    ):
+        assert field in record
+    assert record["bound_ok"] is True
+    rebuilt = ScenarioResult.from_record(record)
+    assert rebuilt.deterministic_record() == record
+
+
+def test_from_record_defaults_for_pre_v3_records():
+    """Old cache/artifact records (no certification fields) stay readable
+    and read as unchecked-but-clean."""
+    record = execute_scenario(tiny_spec()).deterministic_record()
+    for field in (
+        "lower_certified", "formula_certified", "tribes_bits_floor",
+        "bound_ok", "cut_bits", "cut_size", "cut_ok",
+    ):
+        record.pop(field)
+    rebuilt = ScenarioResult.from_record(record)
+    assert rebuilt.bound_ok is True
+    assert rebuilt.cut_ok is True
+    assert rebuilt.lower_certified == 0.0
+    assert rebuilt.formula_certified is False
+
+
+def test_aggregate_counts_bound_violations_and_gap_min():
+    results = run_suite(tiny_suite()).results
+    aggs = {a.family: a for a in aggregate(results)}
+    for agg in aggs.values():
+        assert agg.bound_violations == 0
+        record = agg.to_record()
+        assert record["bound_violations"] == 0
+        assert "gap_min" in record
+    lined = aggs["faq-line"]
+    assert lined.gap_min is not None
+    assert lined.gap_min <= lined.gap_max
+
+
+def test_worst_case_table1_scenario_is_formula_certified():
+    """The table1 rows ARE the paper's hard instances: the formula lower
+    bound is certified on them."""
+    suite = get_suite("table1-line")
+    result = execute_scenario(suite.scenarios[0])
+    assert result.formula_certified
+    assert result.tribes_bits_floor > 0
+    assert result.cut_bits >= result.tribes_bits_floor
+    assert result.bound_ok
+    assert result.cut_size >= 1

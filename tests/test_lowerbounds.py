@@ -281,3 +281,151 @@ def test_bound_report_gap_infinite_when_lower_zero():
     from repro.lowerbounds.bounds import BoundReport
 
     assert BoundReport(10.0, 0.0, {}).gap == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Direct unit tests for internals previously only covered transitively
+# ---------------------------------------------------------------------------
+
+
+def test_find_disjoint_cycles_harvests_disjoint_triangles():
+    two_triangles = Hypergraph({
+        "A": ("a1", "a2"), "B": ("a2", "a3"), "C": ("a3", "a1"),
+        "D": ("b1", "b2"), "E": ("b2", "b3"), "F": ("b3", "b1"),
+    })
+    cycles = find_disjoint_cycles(two_triangles)
+    assert len(cycles) == 2
+    assert sorted(sorted(c) for c in cycles) == [
+        ["a1", "a2", "a3"], ["b1", "b2", "b3"],
+    ]
+
+
+def test_find_disjoint_cycles_empty_on_forest():
+    assert find_disjoint_cycles(Hypergraph.path(4)) == []
+
+
+def test_find_disjoint_cycles_single_long_cycle():
+    c5 = Hypergraph({f"E{i}": (f"v{i}", f"v{(i + 1) % 5}") for i in range(5)})
+    (cycle,) = find_disjoint_cycles(c5)
+    assert sorted(cycle) == [f"v{i}" for i in range(5)]
+
+
+def test_forest_embedding_capacity_hand_cases():
+    """|O| on hand graphs: the larger bipartition class of internal
+    (degree >= 2) vertices."""
+    assert embedding_capacity(Hypergraph.star(3)) == 1   # the center
+    assert embedding_capacity(Hypergraph.path(2)) == 1   # one internal node
+    assert embedding_capacity(Hypergraph.path(4)) == 2
+    assert embedding_capacity(Hypergraph.path(5)) == 2
+    # A disjoint union sums the per-tree capacities.
+    forest = Hypergraph({
+        "A": ("x0", "x1"), "B": ("x1", "x2"),
+        "C": ("y0", "y1"), "D": ("y1", "y2"),
+    })
+    assert embedding_capacity(forest) == 2
+
+
+def test_verify_cut_accounting_hand_cases():
+    from repro.lowerbounds import CutTranscript, verify_cut_accounting
+
+    ok = CutTranscript(
+        side_a={"u"}, side_b={"v"}, crossing_edges=(("u", "v"),),
+        bits_crossing=10, rounds=10, cut_size=1,
+    )
+    verify_cut_accounting(ok, capacity_bits=1)  # 10 <= 10 * 1 * 1
+    impossible = CutTranscript(
+        side_a={"u"}, side_b={"v"}, crossing_edges=(("u", "v"),),
+        bits_crossing=11, rounds=10, cut_size=1,
+    )
+    with pytest.raises(AssertionError):
+        verify_cut_accounting(impossible, capacity_bits=1)
+
+
+def test_cut_transcript_two_party_addressing():
+    from repro.lowerbounds import CutTranscript
+
+    transcript = CutTranscript(
+        side_a={"u"}, side_b={"v", "w"},
+        crossing_edges=(("u", "v"), ("u", "w"), ("u", "x"), ("u", "y")),
+        bits_crossing=100, rounds=50, cut_size=4,
+    )
+    # ceil(log2 4) = 2 address bits per crossing bit.
+    assert transcript.two_party_bits_with_addressing() == 200
+    # R >= bits / (cut * capacity * log cut)
+    assert transcript.round_lower_bound(200.0, capacity_bits=1) == 25.0
+
+
+def test_implied_round_lower_bound_hand_cases():
+    from repro.lowerbounds import implied_round_lower_bound
+
+    line = Topology.line(2)
+    # cut = 1, ceil(log2 2) = 1: the bound is just bits / capacity.
+    assert implied_round_lower_bound(line, line.nodes, 100.0, 1) == 100.0
+    clique = Topology.clique(5)
+    # cut = 4, address = 2: 600 / (4 * 1 * 2).
+    assert implied_round_lower_bound(clique, clique.nodes, 600.0, 1) == 75.0
+
+
+def test_cut_transcript_from_real_run():
+    """The extracted transcript is consistent with the run's accounting."""
+    from repro.lab import ScenarioSpec, build_query, build_topology
+    from repro.core import Planner
+    from repro.lowerbounds import cut_transcript, verify_cut_accounting
+
+    spec = ScenarioSpec(
+        family="cut", query="tree", query_params={"edges": 3},
+        topology="line", topology_params={"n": 3}, n=8, seed=9,
+    )
+    built = build_query(spec)
+    topology = build_topology(spec)
+    planner = Planner(built.query, topology)
+    report = planner.execute()
+    transcript = cut_transcript(
+        topology, planner.players, report.protocol.simulation
+    )
+    capacity = report.protocol.plan.capacity_bits
+    verify_cut_accounting(transcript, capacity)
+    assert transcript.rounds == report.measured_rounds
+    assert transcript.cut_size >= 1
+    assert 0 <= transcript.bits_crossing <= report.total_bits
+
+
+# ---------------------------------------------------------------------------
+# Edge cases surfaced by fuzzing (regression pins)
+# ---------------------------------------------------------------------------
+
+
+def test_bound_report_gap_one_when_both_bounds_zero():
+    """Zero-bit scenarios (co-located runs): 0/0 is vacuous agreement,
+    not an infinite gap."""
+    from repro.lowerbounds.bounds import BoundReport
+
+    assert BoundReport(0.0, 0.0, {}).gap == 1.0
+
+
+def test_bcq_bounds_single_player_is_zero_bit():
+    """One player (however large the topology) means no communication:
+    both bounds are 0 and the structure parameters survive."""
+    report = bcq_bounds(Hypergraph.star(3), Topology.line(4), ["p1"], 16)
+    assert report.upper_rounds == 0.0
+    assert report.lower_rounds == 0.0
+    assert report.gap == 1.0
+    assert report.components["co_located"] == 1.0
+    assert report.components["d"] >= 1.0
+    # Duplicate names of one player count as one terminal.
+    dup = bcq_bounds(Hypergraph.star(3), Topology.line(4), ["p1", "p1"], 16)
+    assert dup.lower_rounds == 0.0
+
+
+def test_faq_bounds_single_player_is_zero_bit():
+    report = faq_bounds(Hypergraph.star(3), Topology.line(4), ["p0"], 16)
+    assert report.upper_rounds == 0.0
+    assert report.lower_rounds == 0.0
+    assert report.gap == 1.0
+
+
+def test_table1_gap_budget_clamps_degenerate_structure():
+    """d = 0 / r = 0 reports must never yield a zero budget."""
+    assert table1_gap_budget("bcq-degenerate", 0, 1) == 1.0
+    assert table1_gap_budget("faq-hypergraph", 0, 0) == 1.0
+    assert table1_gap_budget("faq-hypergraph", 0.5, 3) == 9.0

@@ -1,10 +1,12 @@
 """Tests for the workload generators."""
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hypergraph import is_acyclic, simple_graph_degeneracy
+from repro.hypergraph import gyo_reduce, is_acyclic, simple_graph_degeneracy
 from repro.semiring import BOOLEAN, COUNTING, REAL
 from repro.workloads import (
     domains_for,
@@ -172,3 +174,132 @@ def test_make_rng_warns_on_seedless_use():
     import random as _random
 
     assert rng.random() == _random.Random(0).random()
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-plane property suite: generated structures honour their claims
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 8))
+def test_tree_query_invariant_property(seed, edges):
+    """Trees are connected, acyclic (GYO-reducible) simple graphs with
+    exactly edges+1 vertices."""
+    h = random_tree_query(edges, seed=seed)
+    assert h.num_edges == edges
+    assert h.num_vertices == edges + 1
+    assert h.is_connected()
+    assert is_acyclic(h)
+    assert gyo_reduce(h).is_acyclic
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 3), st.integers(1, 4))
+def test_forest_query_invariant_property(seed, trees, edges):
+    """Forests are acyclic with exactly `trees` connected components."""
+    h = random_forest_query(trees, edges, seed=seed)
+    assert h.num_edges == trees * edges
+    assert len(h.connected_components()) == trees
+    assert is_acyclic(h)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.integers(2, 5), st.integers(2, 4))
+def test_acyclic_hypergraph_gyo_property(seed, edges, arity):
+    """The hypertree-growth generator is alpha-acyclic per GYO and
+    every edge stays within the arity bound."""
+    h = random_acyclic_hypergraph(edges, arity, seed=seed)
+    assert gyo_reduce(h).is_acyclic
+    assert all(len(verts) <= arity for _name, verts in h.edges())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(0, 10_000),
+    st.integers(2, 6),
+    st.integers(1, 20),
+    st.integers(1, 6),
+)
+def test_random_instance_respects_domains_property(seed, domain, size, edges):
+    """Every generated tuple stays inside the declared domains and no
+    relation exceeds min(requested size, domain capacity)."""
+    h = random_tree_query(edges, seed=seed)
+    factors, domains = random_instance(h, domain, size, seed=seed)
+    assert set(domains) == set(h.vertices)
+    for factor in factors.values():
+        capacity = 1
+        for v in factor.schema:
+            assert set(domains[v]) == set(range(domain))
+            capacity *= domain
+        rows = list(factor.tuples())
+        assert len(rows) == min(size, capacity)
+        for row in rows:
+            for v, value in zip(factor.schema, row):
+                assert value in domains[v]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_weighted_exact_annotations_property(seed):
+    """exact=True draws small-integer floats — the annotations whose
+    folds are order-independent in double precision."""
+    h = random_tree_query(3, seed=seed)
+    factors, _ = random_instance(
+        h, 6, 10, seed=seed, semiring=REAL, weighted=True, exact=True
+    )
+    for factor in factors.values():
+        for _t, value in factor.rows.items():
+            assert isinstance(value, float)
+            assert value == int(value)
+            assert 1 <= value <= 8
+
+
+def test_random_query_structure_dispatch():
+    from repro.workloads import STRUCTURE_KINDS, random_query_structure
+
+    assert set(STRUCTURE_KINDS) == {"tree", "forest", "degenerate", "acyclic"}
+    tree = random_query_structure("tree", seed=3, num_edges=4)
+    assert tree == random_tree_query(4, seed=3)
+    forest = random_query_structure(
+        "forest", seed=3, num_trees=2, edges_per_tree=2
+    )
+    assert forest == random_forest_query(2, 2, seed=3)
+    with pytest.raises(ValueError, match="unknown structure kind"):
+        random_query_structure("nope", seed=1)
+    with pytest.raises(ValueError, match="takes parameters"):
+        random_query_structure("tree", seed=1, edges=4)
+
+
+def test_identical_seeds_reproduce_relations_across_processes():
+    """The cross-process determinism contract: a child process generating
+    the same seeded instance produces byte-identical relations."""
+    import subprocess
+    import sys
+
+    script = (
+        "import hashlib, sys;"
+        "sys.path.insert(0, 'src');"
+        "from repro.workloads import random_instance, random_tree_query;"
+        "h = random_tree_query(5, seed=77);"
+        "factors, _ = random_instance(h, 7, 12, seed=78);"
+        "payload = repr(sorted("
+        "  (name, f.schema, sorted(f.rows.items(), key=repr))"
+        "  for name, f in factors.items()));"
+        "print(hashlib.sha256(payload.encode()).hexdigest())"
+    )
+    child = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    import hashlib
+
+    h = random_tree_query(5, seed=77)
+    factors, _ = random_instance(h, 7, 12, seed=78)
+    payload = repr(sorted(
+        (name, f.schema, sorted(f.rows.items(), key=repr))
+        for name, f in factors.items()
+    ))
+    local = hashlib.sha256(payload.encode()).hexdigest()
+    assert child.stdout.strip() == local
