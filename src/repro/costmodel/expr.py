@@ -1,0 +1,333 @@
+"""A tiny exact symbolic-expression layer for the cost model.
+
+The cost formulas (:mod:`repro.costmodel.formulas`) are built from these
+nodes so they can be *printed* as algebra, *evaluated* exactly over
+integer environments, and — when :mod:`sympy` is installed — *exported*
+as sympy expressions for interactive manipulation.  sympy is strictly
+optional: evaluation is pure Python integer arithmetic (the model's
+equality oracle must not depend on an extra dependency being present).
+
+Only the operations the Model 2.1 accounting needs exist: ``+``, ``*``,
+``ceil-div``, ``floor-div``, ``max`` — all closed over the integers, so
+an expression evaluated at integer parameters is an exact bit/round
+count, never a float approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+Number = int
+ExprLike = Union["Expr", int]
+
+
+def _wrap(value: ExprLike) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"cost expressions are integer-valued, got {value!r}")
+    return Const(value)
+
+
+class Expr:
+    """Base class: an exact integer-valued symbolic expression."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate exactly over an integer environment."""
+        raise NotImplementedError
+
+    def free_symbols(self) -> Tuple[str, ...]:
+        """Sorted names of the symbols the expression mentions."""
+        out: set = set()
+        self._collect(out)
+        return tuple(sorted(out))
+
+    def _collect(self, out: set) -> None:
+        raise NotImplementedError
+
+    def to_sympy(self):  # pragma: no cover - exercised only with sympy
+        """Export as a sympy expression (requires sympy)."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return add(self, other)
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return add(other, self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return mul(self, other)
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return mul(other, self)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Expr) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def _collect(self, out: set) -> None:
+        pass
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.Integer(self.value)
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Sym(Expr):
+    """A named integer parameter (N, m, B, ...)."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("symbols need a non-empty name")
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            return int(env[self.name])
+        except KeyError:
+            raise KeyError(f"symbol {self.name!r} missing from environment")
+
+    def _collect(self, out: set) -> None:
+        out.add(self.name)
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.Symbol(self.name, integer=True, nonnegative=True)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class _NAry(Expr):
+    """Shared machinery for flattened n-ary operators."""
+
+    op = "?"
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        self.terms: Tuple[Expr, ...] = tuple(terms)
+
+    def _collect(self, out: set) -> None:
+        for term in self.terms:
+            term._collect(out)
+
+
+class Add(_NAry):
+    op = "+"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return sum(t.evaluate(env) for t in self.terms)
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.Add(*[t.to_sympy() for t in self.terms])
+
+    def __repr__(self) -> str:
+        return " + ".join(map(repr, self.terms))
+
+
+class Mul(_NAry):
+    op = "*"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        out = 1
+        for t in self.terms:
+            out *= t.evaluate(env)
+        return out
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.Mul(*[t.to_sympy() for t in self.terms])
+
+    def __repr__(self) -> str:
+        parts = [
+            f"({t!r})" if isinstance(t, Add) else repr(t) for t in self.terms
+        ]
+        return "*".join(parts)
+
+
+class Max(_NAry):
+    op = "max"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return max(t.evaluate(env) for t in self.terms)
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.Max(*[t.to_sympy() for t in self.terms])
+
+    def __repr__(self) -> str:
+        return f"max({', '.join(map(repr, self.terms))})"
+
+
+class CeilDiv(Expr):
+    """``ceil(a / b)`` — exact over positive integer ``b``."""
+
+    def __init__(self, num: Expr, den: Expr) -> None:
+        self.num = num
+        self.den = den
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        den = self.den.evaluate(env)
+        if den <= 0:
+            raise ZeroDivisionError(f"ceildiv by {den} in {self!r}")
+        return -((-self.num.evaluate(env)) // den)
+
+    def _collect(self, out: set) -> None:
+        self.num._collect(out)
+        self.den._collect(out)
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.ceiling(self.num.to_sympy() / self.den.to_sympy())
+
+    def __repr__(self) -> str:
+        return f"ceil({_grouped(self.num)} / {_grouped(self.den)})"
+
+
+class FloorDiv(Expr):
+    """``floor(a / b)`` — exact over positive integer ``b``."""
+
+    def __init__(self, num: Expr, den: Expr) -> None:
+        self.num = num
+        self.den = den
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        den = self.den.evaluate(env)
+        if den <= 0:
+            raise ZeroDivisionError(f"floordiv by {den} in {self!r}")
+        return self.num.evaluate(env) // den
+
+    def _collect(self, out: set) -> None:
+        self.num._collect(out)
+        self.den._collect(out)
+
+    def to_sympy(self):
+        import sympy
+
+        return sympy.floor(self.num.to_sympy() / self.den.to_sympy())
+
+    def __repr__(self) -> str:
+        return f"floor({_grouped(self.num)} / {_grouped(self.den)})"
+
+
+def _grouped(expr: Expr) -> str:
+    """Render a division operand, parenthesized when it would misread."""
+    return f"({expr!r})" if isinstance(expr, (Add, Mul)) else repr(expr)
+
+
+# ---------------------------------------------------------------------------
+# Constructors (with light constant folding, so printed formulas stay tidy)
+# ---------------------------------------------------------------------------
+
+
+def sym(name: str) -> Sym:
+    """A named integer symbol."""
+    return Sym(name)
+
+
+def const(value: int) -> Const:
+    """An integer literal node."""
+    return Const(value)
+
+
+def add(*terms: ExprLike) -> Expr:
+    """Sum with flattening and constant folding."""
+    flat = []
+    constant = 0
+    for term in map(_wrap, terms):
+        parts = term.terms if isinstance(term, Add) else (term,)
+        for part in parts:
+            if isinstance(part, Const):
+                constant += part.value
+            else:
+                flat.append(part)
+    if constant or not flat:
+        flat.append(Const(constant))
+    return flat[0] if len(flat) == 1 else Add(flat)
+
+
+def mul(*terms: ExprLike) -> Expr:
+    """Product with flattening, constant folding and 0/1 absorption."""
+    flat = []
+    constant = 1
+    for term in map(_wrap, terms):
+        parts = term.terms if isinstance(term, Mul) else (term,)
+        for part in parts:
+            if isinstance(part, Const):
+                constant *= part.value
+            else:
+                flat.append(part)
+    if constant == 0:
+        return Const(0)
+    if constant != 1 or not flat:
+        flat.insert(0, Const(constant))
+    return flat[0] if len(flat) == 1 else Mul(flat)
+
+
+def max_(*terms: ExprLike) -> Expr:
+    """n-ary max (folds when every operand is constant)."""
+    wrapped = [_wrap(t) for t in terms]
+    if not wrapped:
+        raise ValueError("max_ needs at least one operand")
+    if all(isinstance(t, Const) for t in wrapped):
+        return Const(max(t.value for t in wrapped))
+    return wrapped[0] if len(wrapped) == 1 else Max(wrapped)
+
+
+def ceildiv(num: ExprLike, den: ExprLike) -> Expr:
+    """``ceil(num / den)`` (folds constants)."""
+    num_e, den_e = _wrap(num), _wrap(den)
+    if isinstance(num_e, Const) and isinstance(den_e, Const):
+        return Const(-((-num_e.value) // den_e.value))
+    return CeilDiv(num_e, den_e)
+
+
+def floordiv(num: ExprLike, den: ExprLike) -> Expr:
+    """``floor(num / den)`` (folds constants)."""
+    num_e, den_e = _wrap(num), _wrap(den)
+    if isinstance(num_e, Const) and isinstance(den_e, Const):
+        return Const(num_e.value // den_e.value)
+    return FloorDiv(num_e, den_e)
+
+
+def evaluate(expr: ExprLike, env: Mapping[str, int]) -> int:
+    """Evaluate an expression (or plain int) over ``env``."""
+    return _wrap(expr).evaluate(env)
+
+
+def have_sympy() -> bool:
+    """Whether the optional sympy bridge is importable."""
+    try:
+        import sympy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def to_sympy(expr: ExprLike):
+    """Export to sympy (raises ImportError when sympy is missing)."""
+    import sympy  # noqa: F401 — fail loudly if absent
+
+    return _wrap(expr).to_sympy()

@@ -1,0 +1,210 @@
+"""Plan skeletons — the structural facts the cost formulas range over.
+
+A :class:`CostSkeleton` is everything about a compiled
+:class:`~repro.protocols.faq_protocol.ProtocolPlan` that communication
+cost depends on, and nothing else: per-star Steiner-tree shapes and slot
+counts, the final routing tree with per-origin payload counts, and the
+three bit charges (tuple, value, capacity).  Extracting it runs **zero
+protocol rounds** — the only computation it performs is the players'
+*free* local work (Model 2.1 charges nothing for internal computation),
+replayed here sequentially:
+
+* The center of each star is broadcast in its **original** size: a GHD
+  node is the center of exactly one star, and the stars run bottom-up,
+  so no earlier star can have rebuilt it.  The slice count of tree ``j``
+  is therefore known statically from the input relation.
+* The only data-dependent sizes are the **final-edge payloads**: a star
+  rebuilds its center with semiring-zero rows dropped, so how many rows
+  survive to be routed to the output player depends on the data.  The
+  replay recomputes exactly those counts with the shared Phase-B scorer
+  (:func:`~repro.protocols.faq_protocol._score_rows`) and the compiled
+  engine's fold order (:func:`~repro.protocols.compiler.fold_tree_slots`)
+  — both imported, not re-implemented, so the model cannot drift from
+  the engines.
+
+Both engines and all solver/backend planes produce identical accounting
+(the lab's parity gates enforce this), so one skeleton prices all eight
+planes of a scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..protocols.compiler import fold_tree_slots
+from ..protocols.faq_protocol import (
+    ProtocolPlan,
+    _score_rows,
+    _star_contributions,
+)
+from ..semiring import Factor
+
+
+@dataclass(frozen=True)
+class StarSkeleton:
+    """One star phase's cost-relevant shape.
+
+    Attributes:
+        star_id: Bottom-up star index (the message-tag namespace).
+        center_edge: Relation broadcast from the center.
+        trees: Per packing tree, its parent map (node -> parent, root
+            maps to None) in packing order.
+        counts: Per packing tree, the number of slots (center tuples) it
+            carries — ``k_j`` in the formulas.
+    """
+
+    star_id: int
+    center_edge: str
+    trees: Tuple[Dict[str, Optional[str]], ...]
+    counts: Tuple[int, ...]
+
+    def trees_of(self, node: str) -> List[int]:
+        """Packing-tree indices this node participates in."""
+        return [j for j, pm in enumerate(self.trees) if node in pm]
+
+    def tree_edges(self, j: int) -> int:
+        """Edge count of packing tree ``j`` (``E_j`` in the formulas)."""
+        return len(self.trees[j]) - 1
+
+
+@dataclass(frozen=True)
+class RouteSkeleton:
+    """The final trivial-protocol phase's cost-relevant shape.
+
+    Attributes:
+        parents: Routing-tree parent pointers, restricted to nodes on
+            some origin -> output-player path (the sink maps to None).
+        payload_counts: Per participant, how many (relation, row, value)
+            items it *originates* (zero for pure relays and the sink).
+    """
+
+    parents: Dict[str, Optional[str]]
+    payload_counts: Dict[str, int]
+
+    def children_of(self, node: str) -> List[str]:
+        return sorted(n for n, p in self.parents.items() if p == node)
+
+    def path_length(self, node: str) -> int:
+        """Hops from ``node`` to the sink along the routing tree."""
+        hops = 0
+        cur: Optional[str] = node
+        while cur is not None and self.parents.get(cur) is not None:
+            cur = self.parents[cur]
+            hops += 1
+        return hops
+
+    def subtree_payload(self, node: str) -> int:
+        """Items crossing the ``node -> parent`` link (subtree origins)."""
+        total = self.payload_counts.get(node, 0)
+        for child in self.children_of(node):
+            total += self.subtree_payload(child)
+        return total
+
+
+@dataclass(frozen=True)
+class CostSkeleton:
+    """Everything the cost of one scenario depends on."""
+
+    nodes: Tuple[str, ...]
+    output_player: str
+    capacity: int
+    tuple_bits: int
+    value_bits: int
+    stars: Tuple[StarSkeleton, ...]
+    route: RouteSkeleton
+
+    @property
+    def item_bits(self) -> int:
+        """Bits per routed (tuple, value) item in the final phase."""
+        return self.tuple_bits + self.value_bits
+
+
+def _replay_final_counts(plan: ProtocolPlan) -> Dict[str, int]:
+    """Per-origin final-phase payload counts, via free local replay.
+
+    Runs the stars bottom-up over a single global relation state: score
+    every broadcast row with the engines' shared Phase-B scorer, fold
+    per tree in the convergecast's association order, rebuild the center
+    (zero-annotated rows drop, exactly like ``Factor``'s constructor),
+    and absorb the leaves.  Each relation participates in at most one
+    star as a leaf and at most one as a center (before its parent's
+    star), so the global sequential state sees every factor exactly as
+    the owning player would.
+    """
+    query = plan.query
+    semiring = query.semiring
+    state: Dict[str, Factor] = dict(query.factors)
+    for star in plan.stars:
+        factor = state[star.center_edge]
+        rows = list(factor.tuples())
+        ranges = star.slot_plan.slice_ranges(len(rows))
+        slots_by_node: Dict[str, List] = {}
+        for node in star.slot_plan.terminals:
+            contributions = _star_contributions(plan, star, state, node)
+            if contributions:
+                slots_by_node[node] = _score_rows(
+                    semiring, star.center_schema, contributions, rows
+                )
+        combined: List = []
+        for j, tree in enumerate(star.slot_plan.trees):
+            start, stop = ranges[j]
+            combined.extend(
+                fold_tree_slots(
+                    tree,
+                    slots_by_node,
+                    start,
+                    stop,
+                    lambda a, b: [semiring.mul(x, y) for x, y in zip(a, b)],
+                    lambda length: [semiring.one] * length,
+                )
+            )
+        new_rows = {tuple(row): combined[i] for i, row in enumerate(rows)}
+        state[star.center_edge] = Factor(
+            star.center_schema, new_rows, semiring, star.center_edge
+        )
+        for leaf_edge in star.leaf_edges:
+            state.pop(leaf_edge, None)
+
+    counts: Dict[str, int] = {}
+    for name in plan.final_edges:
+        owner = plan.assignment[name]
+        if owner != plan.output_player:
+            surviving = state.get(name, query.factors[name])
+            counts[owner] = counts.get(owner, 0) + len(surviving)
+    return counts
+
+
+def extract_skeleton(plan: ProtocolPlan, nodes: Tuple[str, ...]) -> CostSkeleton:
+    """Distill a compiled plan into its cost skeleton.
+
+    Args:
+        plan: The compiled protocol plan.
+        nodes: All topology nodes (every node runs a — possibly empty —
+            program, and step order is the sorted node order).
+    """
+    stars = []
+    for star in plan.stars:
+        count = len(plan.query.factors[star.center_edge])
+        ranges = star.slot_plan.slice_ranges(count)
+        stars.append(
+            StarSkeleton(
+                star_id=star.star_id,
+                center_edge=star.center_edge,
+                trees=tuple(t.parent_map() for t in star.slot_plan.trees),
+                counts=tuple(stop - start for start, stop in ranges),
+            )
+        )
+    route = RouteSkeleton(
+        parents=dict(plan.routing_parents),
+        payload_counts=_replay_final_counts(plan),
+    )
+    return CostSkeleton(
+        nodes=tuple(sorted(nodes)),
+        output_player=plan.output_player,
+        capacity=plan.capacity_bits,
+        tuple_bits=plan.tuple_bits,
+        value_bits=plan.value_bits,
+        stars=tuple(stars),
+        route=route,
+    )

@@ -7,7 +7,9 @@ Commands:
   and write ``BENCH_lab.json`` (plus optional markdown/CSV) under
   ``--out``.  Exit code 1 when any scenario's protocol answer disagrees
   with the centralized solver, when any run violates its certified
-  lower bound, or when any engine/solver/backend pair breaks parity.
+  lower bound, when any engine/solver/backend pair breaks parity, or
+  when the symbolic cost model mispredicts any covered run (uncovered
+  cells are enumerated on stdout, never gated).
   ``--engine generator|compiled`` overrides every scenario's protocol
   engine; ``--engine both`` runs each scenario on both engines (paired,
   for parity checks and speedup measurements).  ``--solver
@@ -19,6 +21,12 @@ Commands:
   of scenarios differing only in the protocol engine, only in the FAQ
   solver, or only in the storage backend must agree exactly on answer
   digest, round count and total bits.  Exit code 1 on any mismatch.
+* ``predict <suite>`` — price every scenario of a suite symbolically
+  (zero protocol execution): per-scenario rounds/bits/busiest-link
+  estimates, the coverage report, and with ``--symbolic`` the kernel
+  formula table.  ``--artifact BENCH_lab.json`` cross-checks every
+  covered prediction against the recorded measurements (exit 1 on any
+  mismatch — the artifact-consistency oracle CI runs).
 * ``list`` — show the registered suites with sizes and descriptions.
 
 Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
@@ -45,6 +53,7 @@ from .report import (
     engine_pairs,
     format_aggregate_table,
     format_certification_table,
+    format_cost_table,
     format_results_table,
     render_csv,
     render_markdown,
@@ -122,6 +131,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parity_p.add_argument("artifact", help="path to BENCH_lab.json")
 
+    predict_p = sub.add_parser(
+        "predict",
+        help="price a suite symbolically — zero protocol execution",
+    )
+    predict_p.add_argument(
+        "suite", help=f"one of: {', '.join(suite_names())}"
+    )
+    predict_p.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="master seed for generated suites (fuzz*)",
+    )
+    predict_p.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="cross-check predictions against a BENCH_lab.json: every "
+        "covered scenario's prediction must reproduce the recorded "
+        "measurement exactly (exit 1 on any mismatch)",
+    )
+    predict_p.add_argument(
+        "--symbolic", action="store_true",
+        help="also print the per-primitive symbolic kernel table",
+    )
+
     sub.add_parser("list", help="list registered suites")
     return parser
 
@@ -156,6 +187,121 @@ def _cmd_parity(args: argparse.Namespace) -> int:
         print(f"PARITY FAILURES ({len(failures)}):", *failures, sep="\n  ")
         return 1
     print("parity OK: answer digests, rounds and bits all equal")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    """Symbolically price every scenario of a suite — zero execution.
+
+    With ``--artifact``, every covered scenario present in the artifact
+    must have its recorded measurement reproduced exactly by the
+    prediction (all four metrics); exit 1 otherwise.
+    """
+    from ..costmodel import (
+        COVERED_CELLS,
+        CostModelError,
+        cell_of,
+        coverage_report,
+        format_kernel_table,
+        predict_costs,
+    )
+
+    suite = get_suite(args.suite, seed=args.seed)
+    recorded = {}
+    if args.artifact:
+        with open(args.artifact, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        recorded = {
+            record["spec_hash"]: record
+            for record in payload.get("scenarios", [])
+        }
+
+    if args.symbolic:
+        print(format_kernel_table())
+        print()
+
+    # One base prediction per plane-stripped spec: the engine/solver/
+    # backend planes are accounting-identical (the parity gates enforce
+    # it), so 8 planes of a scenario share one skeleton price.
+    cache = {}
+    mismatches: List[str] = []
+    matched = 0
+    header = (
+        f"{'scenario':<52} {'cov':>3} {'rounds':>7} {'bits':>9} "
+        f"{'busiest':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in suite:
+        key = json.dumps(
+            {
+                k: v
+                for k, v in spec.to_json_dict().items()
+                if k not in ("engine", "solver", "backend")
+            },
+            sort_keys=True,
+        )
+        try:
+            if key in cache:
+                prediction = cache[key]
+            else:
+                prediction = cache[key] = predict_costs(spec)
+        except CostModelError as exc:
+            print(f"{spec.label:<52} PREDICTION FAILED: {exc}")
+            mismatches.append(f"{spec.label}: {exc}")
+            continue
+        covered = cell_of(spec) in COVERED_CELLS
+        print(
+            f"{spec.label:<52} {'y' if covered else '-':>3} "
+            f"{prediction.rounds:>7} {prediction.total_bits:>9} "
+            f"{prediction.max_edge_bits_per_round:>7}"
+        )
+        record = recorded.get(spec.content_hash())
+        if record is None or not covered:
+            continue
+        matched += 1
+        block = record.get("cost_model") or {}
+        measured = block.get("measured") or {
+            "rounds": record["measured_rounds"],
+            "total_bits": record["total_bits"],
+        }
+        predicted = prediction.metrics()
+        diffs = [
+            f"{metric} predicted={predicted[metric]!r} "
+            f"recorded={measured[metric]!r}"
+            for metric in measured
+            if metric in predicted and predicted[metric] != measured[metric]
+        ]
+        if diffs:
+            mismatches.append(f"{spec.label}: " + "; ".join(diffs))
+
+    coverage = coverage_report(cell_of(s) for s in suite)
+    print()
+    print(
+        f"suite {suite.name!r}: {coverage['runs']} scenarios priced, "
+        f"{coverage['covered_runs']} in covered cells "
+        f"({len(coverage['covered_cells'])} distinct), "
+        f"{len(coverage['uncovered_cells'])} uncovered cell(s)"
+    )
+    for cell in coverage["uncovered_cells"]:
+        print(f"  uncovered: {cell}")
+    if args.artifact:
+        print(
+            f"artifact cross-check: {matched} covered scenario(s) "
+            f"matched against {args.artifact}, "
+            f"{len(mismatches)} mismatch(es)"
+        )
+        if matched == 0:
+            print(
+                "NO OVERLAP with the artifact (wrong suite or --seed?)"
+            )
+            return 1
+    if mismatches:
+        print(
+            f"COST MISMATCHES ({len(mismatches)}):", *mismatches,
+            sep="\n  ",
+        )
+        return 1
     return 0
 
 
@@ -198,6 +344,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cert = payload["certification"]
     violations = cert["bound_violations"]
     parity = all_parity_failures(records)
+    cost = payload["cost_model"]
+    cost_failures = cost["mismatches"]
 
     print()
     print(format_results_table(run.results))
@@ -206,12 +354,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print()
     print(format_certification_table(records))
     print()
+    print(format_cost_table(records))
+    print()
     print(
         f"certification: {cert['scenarios_checked']} scenarios checked "
         f"({cert['formula_certified']} formula, {cert['cut_checked']} "
         f"cut-accounting), {len(violations)} violation(s); "
         f"{len(parity)} parity failure(s)"
     )
+    print(
+        f"cost model: {cost['covered_runs']}/{cost['runs']} runs in "
+        f"covered cells, {cost['exact_matches']} exact on all four "
+        f"metrics, {len(cost_failures)} mismatch(es); "
+        f"{len(cost['uncovered_cells'])} uncovered cell(s)"
+    )
+    # Uncovered cells are never gated, but always enumerated — silence
+    # would read as coverage.
+    for cell in cost["uncovered_cells"]:
+        print(f"  uncovered: {cell}")
     print(
         f"suite {suite.name!r}: {len(run.results)} scenarios, "
         f"{run.cache_hits} cached ({run.hit_rate:.0%}), "
@@ -243,6 +403,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if parity:
         print(f"PARITY FAILURES ({len(parity)}):", *parity, sep="\n  ")
         status = 1
+    if cost_failures:
+        print(
+            f"COST MISMATCHES ({len(cost_failures)}):", *cost_failures,
+            sep="\n  ",
+        )
+        status = 1
     return status
 
 
@@ -252,6 +418,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "parity":
         return _cmd_parity(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
     return _cmd_run(args)
 
 

@@ -19,6 +19,7 @@ import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.analysis import format_table
+from ..costmodel.model import COST_METRIC_NAMES
 from .results import FamilyAggregate, ScenarioResult, aggregate
 from .runner import SuiteRun
 
@@ -28,7 +29,9 @@ ARTIFACT_FILENAME = "BENCH_lab.json"
 #: Artifact schema id; bump on breaking payload changes.
 #: v2: scenario records carry bound-certification fields and the payload
 #: gains a top-level ``certification`` block.
-ARTIFACT_SCHEMA = "repro.lab/bench.v2"
+#: v3: scenario records carry ``cost_model`` blocks and the payload
+#: gains a top-level ``cost_model`` block (symbolic cost-plane oracle).
+ARTIFACT_SCHEMA = "repro.lab/bench.v3"
 
 
 def format_results_table(results: Sequence[ScenarioResult]) -> str:
@@ -117,6 +120,26 @@ def render_markdown(
     if cert["bound_violations"]:
         lines += ["", "### Violations", ""]
         lines += [f"- {v}" for v in cert["bound_violations"]]
+    cost = cost_model_payload(records)
+    lines += [
+        "",
+        "## Symbolic cost model",
+        "",
+        f"{cost['covered_runs']}/{cost['runs']} runs in covered cells; "
+        f"{cost['exact_matches']} exact on all four metrics; "
+        f"{len(cost['mismatches'])} mismatch(es); "
+        f"{len(cost['uncovered_cells'])} uncovered cell(s).",
+        "",
+        "```",
+        format_cost_table(records),
+        "```",
+    ]
+    if cost["mismatches"]:
+        lines += ["", "### Cost mismatches", ""]
+        lines += [f"- {m}" for m in cost["mismatches"]]
+    if cost["uncovered_cells"]:
+        lines += ["", "### Uncovered cells", ""]
+        lines += [f"- `{c}`" for c in cost["uncovered_cells"]]
     return "\n".join(lines) + "\n"
 
 
@@ -132,10 +155,13 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             "link_utilization", "upper_formula", "lower_formula",
             "gap", "gap_budget", "lower_certified", "formula_certified",
             "tribes_bits_floor", "bound_ok", "cut_bits", "cut_size",
-            "correct", "spec_hash",
+            "correct", "cost_covered", "cost_exact", "spec_hash",
         ]
     )
     for r in results:
+        cost = r.cost_model or {}
+        covered = bool(cost.get("covered"))
+        exact = cost.get("exact_match")
         writer.writerow(
             [
                 r.spec.family, r.query_name, r.topology_name,
@@ -148,7 +174,8 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
                 r.gap_budget, r.lower_certified,
                 int(r.formula_certified), r.tribes_bits_floor,
                 int(r.bound_ok), r.cut_bits, r.cut_size,
-                int(r.correct), r.spec_hash,
+                int(r.correct), int(covered),
+                "" if exact is None else int(exact), r.spec_hash,
             ]
         )
     return buf.getvalue()
@@ -320,6 +347,95 @@ def format_certification_table(records: Sequence[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+#: The four metrics the cost model must predict exactly per covered run.
+COST_METRICS = COST_METRIC_NAMES
+
+
+def cost_mismatches(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Cost-plane oracle violations among scenario records.
+
+    A record violates when its coverage cell is claimed by
+    :data:`repro.costmodel.COVERED_CELLS` but the symbolic prediction
+    disagreed with the measured run on any of the four metrics
+    (``exact_match`` False).  Uncovered cells never appear here — they
+    are reported by :func:`cost_model_payload`, not gated.  The list
+    must be empty on every suite; any entry means either a cost formula
+    is wrong or an engine's accounting drifted.
+    """
+    failures: List[str] = []
+    for record in records:
+        block = record.get("cost_model")
+        if not block or not block.get("covered"):
+            continue
+        if block.get("exact_match"):
+            continue
+        predicted = block.get("predicted")
+        measured = block.get("measured", {})
+        if predicted is None:
+            detail = block.get("error", "prediction failed")
+        else:
+            diffs = [
+                f"{metric} predicted={predicted.get(metric)!r} "
+                f"measured={measured.get(metric)!r}"
+                for metric in COST_METRICS
+                if predicted.get(metric) != measured.get(metric)
+            ]
+            detail = "; ".join(diffs) or "metrics differ"
+        failures.append(f"{record['label']}: {detail}")
+    return failures
+
+
+def cost_model_payload(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The cost-model block of the bench artifact.
+
+    Deterministic (pure function of the scenario records): run/coverage
+    counts, the exact-match tally, the mismatch list (must be empty),
+    and the sorted unique covered/uncovered cell lists — uncovered
+    cells are enumerated explicitly, never silently dropped.
+    """
+    blocks = [r.get("cost_model") for r in records]
+    blocks = [b for b in blocks if b]
+    covered = [b for b in blocks if b.get("covered")]
+    covered_cells = sorted({"/".join(b["cell"]) for b in covered})
+    uncovered_cells = sorted(
+        {"/".join(b["cell"]) for b in blocks if not b.get("covered")}
+    )
+    return {
+        "runs": len(records),
+        "priced_runs": len(blocks),
+        "covered_runs": len(covered),
+        "exact_matches": sum(1 for b in covered if b.get("exact_match")),
+        "mismatches": cost_mismatches(records),
+        "covered_cells": covered_cells,
+        "uncovered_cells": uncovered_cells,
+    }
+
+
+def format_cost_table(records: Sequence[Dict[str, Any]]) -> str:
+    """The human-readable cost-model summary block.
+
+    One row per family: run count, how many runs the model covered, how
+    many matched exactly on all four metrics, and the mismatch count.
+    """
+    by_family: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_family.setdefault(record["family"], []).append(record)
+    header = (
+        f"{'family':<18} {'runs':>4} {'covered':>7} {'exact':>5} "
+        f"{'mismatch':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for family, group in by_family.items():
+        blocks = [r.get("cost_model") or {} for r in group]
+        covered = [b for b in blocks if b.get("covered")]
+        lines.append(
+            f"{family:<18} {len(group):>4} {len(covered):>7} "
+            f"{sum(1 for b in covered if b.get('exact_match')):>5} "
+            f"{sum(1 for b in covered if not b.get('exact_match')):>8}"
+        )
+    return "\n".join(lines)
+
+
 def parity_failures(
     records: Sequence[Dict[str, Any]], axis: str = "engine"
 ) -> List[str]:
@@ -453,6 +569,7 @@ def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
         "scenarios": records,
         "aggregates": [a.to_record() for a in aggregates],
         "certification": certification_payload(records),
+        "cost_model": cost_model_payload(records),
     }
     if timings:
         payload["timings"] = timings_payload(run)

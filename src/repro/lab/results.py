@@ -31,7 +31,9 @@ from .spec import ScenarioSpec
 #: engine's bit-accounting parity contract needs both in artifacts).
 #: v3: records carry the bound-certification fields (certified lower
 #: bound, cut-accounting transcript numbers, violation flags).
-RESULT_SCHEMA = "repro.lab/result.v3"
+#: v4: records carry the ``cost_model`` block (symbolic cost-plane
+#: predictions with per-run exact-match verdicts).
+RESULT_SCHEMA = "repro.lab/result.v4"
 
 
 @dataclass
@@ -79,6 +81,12 @@ class ScenarioResult:
             (``cut_bits <= rounds * cut_size * B``).
         correct: Protocol answer matched the centralized solver.
         answer_digest: sha256 of the canonicalized answer factor.
+        cost_model: The symbolic cost-plane verdict for this run: the
+            coverage ``cell``, whether the model ``covered`` it, the
+            ``predicted`` and ``measured`` metric payloads (rounds,
+            total bits, busiest-link bits/round, per-edge digest), and
+            ``exact_match`` — True/False on covered cells, None when
+            uncovered (reported, never gated).  None on pre-v4 records.
         wall_time: Seconds spent executing (volatile; excluded from the
             deterministic record).
         protocol_wall_time: Seconds spent in the protocol run alone
@@ -113,6 +121,7 @@ class ScenarioResult:
     cut_ok: bool
     correct: bool
     answer_digest: str
+    cost_model: Optional[Dict[str, Any]] = None
     wall_time: float = 0.0
     protocol_wall_time: float = 0.0
     solver_wall_time: float = 0.0
@@ -151,6 +160,7 @@ class ScenarioResult:
             "cut_ok": self.cut_ok,
             "correct": self.correct,
             "answer_digest": self.answer_digest,
+            "cost_model": self.cost_model,
         }
 
     @classmethod
@@ -185,6 +195,7 @@ class ScenarioResult:
             cut_ok=record.get("cut_ok", True),
             correct=record["correct"],
             answer_digest=record["answer_digest"],
+            cost_model=record.get("cost_model"),
             wall_time=0.0,
             cached=cached,
         )

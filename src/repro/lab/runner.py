@@ -379,6 +379,59 @@ def certify_bounds(
     }
 
 
+def certify_costs(
+    spec: ScenarioSpec,
+    planner: Planner,
+    report,
+) -> Dict[str, object]:
+    """The symbolic cost-plane verdict for one executed scenario.
+
+    The third certification axis (after answer correctness and the
+    lower-bound oracles): :func:`repro.costmodel.predict_costs` prices
+    the executed plan's skeleton without running a single protocol
+    round, and on covered cells the prediction must match the measured
+    run **exactly** on all four metrics — rounds, total bits,
+    busiest-link bits/round, and the per-directed-link bit map (as a
+    digest).  Uncovered cells are reported with ``exact_match=None``;
+    they are listed by the CLI, never silently skipped and never gated.
+
+    Returns the ``cost_model`` block of a
+    :class:`~repro.lab.results.ScenarioResult`.
+    """
+    # Late import so worker processes that never touch the cost plane
+    # don't pay for sympy-aware modules at import time.
+    from ..costmodel import CostModelError, cell_of, edge_digest, is_covered, predict_costs
+
+    simulation = report.protocol.simulation
+    measured = {
+        "rounds": int(report.measured_rounds),
+        "total_bits": int(report.protocol.total_bits),
+        "max_edge_bits_per_round": int(simulation.max_edge_bits_per_round),
+        "bits_per_edge_digest": edge_digest(simulation.bits_per_edge),
+    }
+    cell = cell_of(spec)
+    block: Dict[str, object] = {
+        "cell": list(cell),
+        "covered": is_covered(spec),
+        "measured": measured,
+        "predicted": None,
+        "exact_match": None,
+    }
+    if not block["covered"]:
+        return block
+    try:
+        prediction = predict_costs(
+            spec, plan=report.protocol.plan, nodes=planner.topology.nodes
+        )
+    except CostModelError as exc:
+        block["exact_match"] = False
+        block["error"] = str(exc)
+        return block
+    block["predicted"] = prediction.metrics()
+    block["exact_match"] = block["predicted"] == measured
+    return block
+
+
 def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run one scenario end-to-end (deterministically).
 
@@ -425,6 +478,7 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
         cut_ok=certification["cut_ok"],
         correct=bool(report.correct),
         answer_digest=answer_digest(report.answer.schema, report.answer.rows),
+        cost_model=certify_costs(spec, planner, report),
         wall_time=time.perf_counter() - start,
         protocol_wall_time=float(report.protocol_wall_time),
         solver_wall_time=float(report.solver_wall_time),

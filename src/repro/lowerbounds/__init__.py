@@ -13,6 +13,7 @@ from .cut_simulation import (
     CutTranscript,
     cut_transcript,
     implied_round_lower_bound,
+    predicted_crossing_bits,
     verify_cut_accounting,
 )
 from .core_embedding import (
@@ -45,6 +46,7 @@ __all__ = [
     "cut_transcript",
     "verify_cut_accounting",
     "implied_round_lower_bound",
+    "predicted_crossing_bits",
     "TribesInstance",
     "random_tribes",
     "hard_tribes",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Set, Tuple
+from typing import Mapping, Sequence, Set, Tuple
 
 from ..network.mincut import mincut, mincut_partition
 from ..network.simulator import SimulationResult
@@ -80,6 +80,29 @@ def cut_transcript(
         bits_crossing=bits,
         rounds=result.rounds,
         cut_size=len(crossing),
+    )
+
+
+def predicted_crossing_bits(
+    crossing_edges: Sequence[Tuple[str, str]],
+    bits_per_edge: Mapping[Tuple[str, str], int],
+) -> int:
+    """Crossing bits implied by a *directed* per-link bit map.
+
+    Folds a predicted per-directed-link map (e.g.
+    ``repro.costmodel.CostPrediction.bits_per_edge``) over an undirected
+    crossing-edge set, summing both directions of each cut edge.  On a
+    covered cell this must equal the executed run's
+    :attr:`CutTranscript.bits_crossing` exactly — linking the symbolic
+    cost plane to the Lemma 4.4 accounting oracle: the model predicts
+    not just the totals but the exact two-party transcript cost of the
+    induced cut protocol.
+    """
+    crossing = {tuple(sorted(edge)) for edge in crossing_edges}
+    return sum(
+        bits
+        for (src, dst), bits in bits_per_edge.items()
+        if tuple(sorted((src, dst))) in crossing
     )
 
 

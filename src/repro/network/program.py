@@ -242,18 +242,30 @@ class ParallelOps(ProgramOp):
         self.members = list(members)
         self.done_flags = [False] * len(self.members)
         self.label = label
+        self._steps = 0
+        self._finished_at: Dict[int, int] = {}
 
     def start(self, ctx: ProgramContext) -> None:
         for member in self.members:
             member.start(ctx)
 
     def step(self, ctx: ProgramContext) -> bool:
+        self._steps += 1
         for i, member in enumerate(self.members):
             if not self.done_flags[i]:
-                self.done_flags[i] = member.step(ctx)
+                if member.step(ctx):
+                    self.done_flags[i] = True
+                    self._finished_at[i] = self._steps
         return all(self.done_flags)
 
     def cycle_horizon(self, p: int) -> int:
+        # A member that completed within the candidate cycle window put
+        # its *final* sends into the recorded signature; replaying the
+        # cycle would charge those sends again with no op state behind
+        # them.  The group's completion is invisible to the scheduler
+        # (the program index does not move), so decline the jump here.
+        if any(self._steps - at < p for at in self._finished_at.values()):
+            return 0
         horizons = [
             member.cycle_horizon(p)
             for member, done in zip(self.members, self.done_flags)

@@ -1,0 +1,67 @@
+"""Hypothesis property suite for the symbolic cost oracle.
+
+For every covered cell the fuzz generator can reach, a generated
+scenario executed on any engine must satisfy ``predicted == measured``
+on all four metrics.  The scenario space is driven through the *same*
+sampler the fuzz suite uses (:func:`repro.lab.generate.sample_scenario`
+over :func:`repro.workloads.spawn_seeds` child streams), so a shrunk
+counterexample is directly a lab scenario: the failure message prints
+the minimal spec plus the ``--seed`` line that reproduces its whole
+suite.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.costmodel import COST_METRIC_NAMES, is_covered
+from repro.lab.generate import sample_scenario
+from repro.lab.runner import execute_scenario
+from repro.lab.suites import DEFAULT_SEED
+from repro.workloads import spawn_seeds
+
+#: Three fixed master seeds — the default fuzz stream plus two others —
+#: each expanded to a prefix-stable child stream.  Drawing (master,
+#: index) keeps every example reproducible as `run fuzz --seed <master>`.
+MASTER_SEEDS = (DEFAULT_SEED, 7, 20260807)
+STREAM_LENGTH = 50
+_CHILDREN = {m: spawn_seeds(m, STREAM_LENGTH) for m in MASTER_SEEDS}
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    master=st.sampled_from(MASTER_SEEDS),
+    index=st.integers(min_value=0, max_value=STREAM_LENGTH - 1),
+    engine=st.sampled_from(["generator", "compiled"]),
+)
+def test_every_generated_covered_scenario_is_predicted_exactly(
+    master, index, engine
+):
+    spec = sample_scenario(_CHILDREN[master][index]).with_(engine=engine)
+    assert is_covered(spec), (
+        f"fuzz sampler produced an uncovered cell — either extend "
+        f"COVERED_CELLS or the sampler changed: {spec}"
+    )
+    result = execute_scenario(spec)
+    block = result.cost_model
+    predicted, measured = block["predicted"], block["measured"]
+    mismatched = [
+        metric
+        for metric in COST_METRIC_NAMES
+        if predicted is None or predicted[metric] != measured[metric]
+    ]
+    assert block["exact_match"] is True and not mismatched, (
+        f"cost model mispredicted {mismatched or 'all metrics'} for the "
+        f"minimal failing spec:\n  {spec!r}\n"
+        f"predicted={predicted}\nmeasured ={measured}\n"
+        f"reproduce its suite with: "
+        f"python -m repro.lab run fuzz --seed {master}  "
+        f"(scenario index {index}, engine {engine!r}, "
+        f"child seed {spec.seed})"
+    )
