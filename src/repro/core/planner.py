@@ -30,6 +30,7 @@ from ..faq import (
 )
 from ..lowerbounds.bounds import BoundReport, bcq_bounds, faq_bounds
 from ..network.topology import Topology
+from ..obs.trace import Tracer, activate, normalize as _normalize_tracer
 from ..protocols.faq_protocol import (
     ENGINES,
     FAQProtocolReport,
@@ -162,6 +163,11 @@ class Planner:
             player's free internal computation inside the protocol; both
             strategies produce identical answers and identical protocol
             cost metrics.
+        tracer: Optional :class:`~repro.obs.trace.Tracer`.  When enabled,
+            :meth:`execute` emits per-round protocol events plus
+            ``plan_compile`` / ``protocol`` / ``solve`` / ``intern``
+            phase timers.  ``None`` or a disabled tracer is normalized
+            away so the hot path pays one attribute check.
     """
 
     def __init__(
@@ -173,10 +179,12 @@ class Planner:
         backend: Optional[str] = None,
         engine: str = "generator",
         solver: str = "operator",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.backend = backend
         self.engine = validate_engine(engine)
         self.solver = validate_solver(solver)
+        self.tracer = _normalize_tracer(tracer)
         if backend is not None:
             query = query.with_backend(backend)
         self.query = query
@@ -208,20 +216,29 @@ class Planner:
 
     def execute(self, max_rounds: int = 2_000_000) -> ExecutionReport:
         """Run the distributed protocol and cross-check the answer."""
-        start = time.perf_counter()
-        protocol = run_distributed_faq(
-            self.query,
-            self.topology,
-            self.assignment,
-            output_player=self.output_player,
-            max_rounds=max_rounds,
-            engine=self.engine,
-            solver=self.solver,
-        )
-        protocol_wall_time = time.perf_counter() - start
-        start = time.perf_counter()
-        reference = self.reference_answer()
-        solver_wall_time = time.perf_counter() - start
+        tracer = self.tracer
+        # ``activate`` publishes the tracer to module-level consumers
+        # (e.g. the intern phase timer inside the plan executor) that sit
+        # below layers with no tracer parameter of their own.
+        with activate(tracer):
+            start = time.perf_counter()
+            protocol = run_distributed_faq(
+                self.query,
+                self.topology,
+                self.assignment,
+                output_player=self.output_player,
+                max_rounds=max_rounds,
+                engine=self.engine,
+                solver=self.solver,
+                tracer=tracer,
+            )
+            protocol_wall_time = time.perf_counter() - start
+            start = time.perf_counter()
+            reference = self.reference_answer()
+            solver_wall_time = time.perf_counter() - start
+        if tracer is not None:
+            tracer.phase_timer("protocol", protocol_wall_time)
+            tracer.phase_timer("solve", solver_wall_time)
         return ExecutionReport(
             answer=protocol.answer,
             reference=reference,

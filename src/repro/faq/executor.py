@@ -35,11 +35,14 @@ backend); the paper's Table 1 scenarios are all exact.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.counters import COUNTERS
+from ..obs.trace import active_tracer
 from ..semiring import Factor, Semiring
 from ..semiring.backend import profile_for, supports_columnar
 from ..semiring.columnar import (
@@ -212,7 +215,9 @@ def _pool_dictionaries(dicts: Sequence[list]):
             }
         pooled_remaps = _superset_pool(dicts, arrays)
         if pooled_remaps is not None:
+            COUNTERS.increment("dict_pool.superset")
             return pooled_remaps
+        COUNTERS.increment("dict_pool.merge")
         uniq, inverse = _unique_inverse(np.concatenate(nonempty))
         pooled = Dictionary(uniq.tolist(), array=uniq)
         remaps = {}
@@ -225,6 +230,7 @@ def _pool_dictionaries(dicts: Sequence[list]):
                 offset += len(arr)
         return pooled, remaps
 
+    COUNTERS.increment("dict_pool.generic")
     pooled_list: List[Any] = []
     index: Dict[Any, int] = {}
     remaps = {}
@@ -529,8 +535,12 @@ def execute_plan(
         isinstance(f, ColumnarFactor) for f in factors.values()
     )
     if columnar:
+        tracer = active_tracer()
         pool = DictionaryPool()
+        intern_start = time.perf_counter()
         inputs: Mapping[str, Factor] = pool.intern_factors(factors)
+        if tracer is not None:
+            tracer.phase_timer("intern", time.perf_counter() - intern_start)
         if stats is not None:
             stats.pooled_variables = len(pool)
     else:
@@ -569,9 +579,11 @@ def _run_op(
                 parts, op.variable, op.schema, semiring
             )
         if result is not None:
+            COUNTERS.increment("solver.fused_vectorized")
             if stats is not None:
                 stats.fused_vectorized += 1
             return result
+        COUNTERS.increment("solver.fused_fallback")
         if stats is not None:
             stats.fused_fallback += 1
         return operations.marginalize(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
+from ..obs.counters import COUNTERS
 from ..semiring import ColumnarFactor, Factor, Semiring, supports_columnar, to_backend
 from ..semiring.semirings import fold_repeat
 from ..semiring.columnar import (
@@ -58,7 +59,9 @@ def join(left: Factor, right: Factor, name: str | None = None) -> Factor:
     if _columnar_operands(left, right):
         out = columnar_join(left, right, name)
         if out is not None:
+            COUNTERS.increment("kernel.columnar")
             return out
+    COUNTERS.increment("kernel.dict_fallback")
     shared = tuple(v for v in left.schema if v in right.schema)
     out_schema = _merged_schema(left.schema, right.schema)
 
@@ -125,7 +128,9 @@ def semijoin(left: Factor, right: Factor, name: str | None = None) -> Factor:
     if _columnar_operands(left, right):
         out = columnar_semijoin(left, right, name)
         if out is not None:
+            COUNTERS.increment("kernel.columnar")
             return out
+    COUNTERS.increment("kernel.dict_fallback")
     shared = tuple(v for v in left.schema if v in right.schema)
     if not shared:
         # Degenerate: R1 ⋈ pi_∅(R2) — empty right empties left.
@@ -153,7 +158,9 @@ def project(factor: Factor, variables: Sequence[str], name: str | None = None) -
     if _columnar_operands(factor):
         out = columnar_project(factor, variables, name)
         if out is not None:
+            COUNTERS.increment("kernel.columnar")
             return out
+    COUNTERS.increment("kernel.dict_fallback")
     idx = [factor.column_index(v) for v in variables]
     semiring = factor.semiring
     rows: Dict[Tuple_, Any] = {}
@@ -205,7 +212,9 @@ def marginalize(
     ):
         out = columnar_marginalize(factor, variable, name)
         if out is not None:
+            COUNTERS.increment("kernel.columnar")
             return out
+    COUNTERS.increment("kernel.dict_fallback")
     combine = combine or semiring.add
     var_idx = factor.column_index(variable)
     out_schema = tuple(v for v in factor.schema if v != variable)

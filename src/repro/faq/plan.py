@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.counters import COUNTERS
 from .query import FAQQuery
 
 #: Part of every cache key; bump on plan-semantics or op-vocabulary changes
@@ -285,13 +286,17 @@ class PlanCache:
         """Look up a plan, counting the hit/miss."""
         if key is None:
             self.stats.uncacheable += 1
+            COUNTERS.increment("plan_cache.uncacheable")
             return None
+        COUNTERS.increment("plan_cache.lookups")
         plan = self._plans.get(key)
         if plan is None:
             self.stats.misses += 1
+            COUNTERS.increment("plan_cache.miss")
             return None
         self._plans.move_to_end(key)
         self.stats.hits += 1
+        COUNTERS.increment("plan_cache.hit")
         return plan
 
     def put(self, key: Optional[str], plan: QueryPlan) -> None:

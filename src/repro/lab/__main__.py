@@ -27,7 +27,18 @@ Commands:
   formula table.  ``--artifact BENCH_lab.json`` cross-checks every
   covered prediction against the recorded measurements (exit 1 on any
   mismatch — the artifact-consistency oracle CI runs).
+* ``trace <suite> [--scenario LABEL]`` — execute one scenario of a suite
+  with the protocol event tracer on, write the event stream as JSONL and
+  as Chrome trace-event JSON (loadable at https://ui.perfetto.dev) under
+  ``--out``, print the terminal round-by-round link-utilization
+  timeline, and replay-verify the trace against the measured run (exit
+  code 1 on any replay or cost-model mismatch).
 * ``list`` — show the registered suites with sizes and descriptions.
+
+Every subcommand takes ``--log-level debug|info|warning|error``
+(default ``info``); ``run --trace`` additionally replay-verifies every
+freshly-executed scenario's event stream in the workers and gates on the
+verdicts like the certification planes.
 
 Caching defaults to ``<out>/.lab_cache/results.jsonl``; re-runs are
 incremental (only new/changed scenarios execute).  ``--no-cache``
@@ -40,10 +51,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 from typing import List, Optional
 
 from ..faq import SOLVERS
+from ..obs.logging import LOG_LEVELS, configure as configure_logging, get_logger
 from ..protocols.faq_protocol import ENGINES
 from .cache import ResultCache
 from .report import (
@@ -74,7 +87,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run a registered suite")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="logging verbosity for progress/diagnostic lines "
+        "(default: info; result tables always print)",
+    )
+
+    run_p = sub.add_parser(
+        "run", help="run a registered suite", parents=[common]
+    )
     run_p.add_argument("suite", help=f"one of: {', '.join(suite_names())}")
     run_p.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -125,15 +147,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="master seed for generated suites (fuzz*): regenerates the "
         "whole scenario stream deterministically from N",
     )
+    run_p.add_argument(
+        "--trace", action="store_true",
+        help="record + replay-verify the protocol event stream of every "
+        "freshly-executed scenario (exit 1 on any replay mismatch)",
+    )
 
     parity_p = sub.add_parser(
-        "parity", help="check engine parity in a BENCH_lab.json artifact"
+        "parity", help="check engine parity in a BENCH_lab.json artifact",
+        parents=[common],
     )
     parity_p.add_argument("artifact", help="path to BENCH_lab.json")
 
     predict_p = sub.add_parser(
         "predict",
         help="price a suite symbolically — zero protocol execution",
+        parents=[common],
     )
     predict_p.add_argument(
         "suite", help=f"one of: {', '.join(suite_names())}"
@@ -153,7 +182,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the per-primitive symbolic kernel table",
     )
 
-    sub.add_parser("list", help="list registered suites")
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace one scenario: event stream, Perfetto export, "
+        "terminal timeline, replay verification",
+        parents=[common],
+    )
+    trace_p.add_argument(
+        "suite", help=f"one of: {', '.join(suite_names())}"
+    )
+    trace_p.add_argument(
+        "--scenario", default=None, metavar="LABEL",
+        help="substring of the scenario label to trace "
+        "(default: the suite's first scenario)",
+    )
+    trace_p.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="master seed for generated suites (fuzz*)",
+    )
+    trace_p.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="output directory for TRACE_<scenario>.jsonl and "
+        "TRACE_<scenario>.chrome.json (default: cwd)",
+    )
+
+    sub.add_parser("list", help="list registered suites", parents=[common])
     return parser
 
 
@@ -305,6 +358,80 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sanitize_label(label: str) -> str:
+    """A filesystem-safe stand-in for a scenario label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label).strip("_")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one scenario end-to-end and replay-verify the event stream."""
+    from ..obs.export import (
+        events_to_chrome_trace,
+        events_to_jsonl,
+        format_timeline,
+    )
+    from .runner import record_scenario_trace
+
+    logger = get_logger("lab")
+    suite = get_suite(args.suite, seed=args.seed)
+    specs = list(suite)
+    if args.scenario is not None:
+        matches = [s for s in specs if args.scenario in s.label]
+        if not matches:
+            print(
+                f"no scenario of suite {suite.name!r} matches "
+                f"{args.scenario!r}; labels:"
+            )
+            for s in specs:
+                print(f"  {s.label}")
+            return 1
+        spec = matches[0]
+    else:
+        spec = specs[0]
+
+    logger.info(f"[trace] {spec.label}")
+    result, events = record_scenario_trace(spec)
+
+    os.makedirs(args.out, exist_ok=True)
+    base = _sanitize_label(spec.label)
+    jsonl_path = os.path.join(args.out, f"TRACE_{base}.jsonl")
+    with open(jsonl_path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_jsonl(events))
+    chrome_path = os.path.join(args.out, f"TRACE_{base}.chrome.json")
+    with open(chrome_path, "w", encoding="utf-8") as fh:
+        json.dump(events_to_chrome_trace(events), fh, sort_keys=True)
+        fh.write("\n")
+
+    print(format_timeline(events))
+    print()
+    trace = result.trace or {}
+    replayed = trace.get("replayed", {})
+    print(
+        f"{trace.get('events', 0)} events; replayed "
+        f"rounds={replayed.get('rounds')} "
+        f"total_bits={replayed.get('total_bits')} "
+        f"busiest={replayed.get('max_edge_bits_per_round')}"
+    )
+    print(f"wrote {jsonl_path}")
+    print(f"wrote {chrome_path}")
+    mismatches = list(trace.get("mismatches", ()))
+    if not trace.get("verified") or trace.get("cost_model_match") is False:
+        if trace.get("cost_model_match") is False:
+            mismatches.append("cost-model prediction disagreed")
+        print(
+            f"TRACE MISMATCHES ({len(mismatches)}):", *mismatches,
+            sep="\n  ",
+        )
+        return 1
+    covered = trace.get("cost_model_match") is not None
+    print(
+        "trace verified: replay reproduced the measured run exactly"
+        + (" and matched the cost model" if covered else
+           " (cost model: uncovered cell)")
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     suite = get_suite(args.suite, seed=args.seed)
     if args.engine == "both":
@@ -331,9 +458,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or os.path.join(args.out, ".lab_cache")
         cache = ResultCache(cache_dir)
-    log = None if args.quiet else print
+    logger = get_logger("lab")
+    log = None if args.quiet else logger.info
     run = run_suite(
-        suite, jobs=args.jobs, cache=cache, force=args.force, log=log
+        suite, jobs=args.jobs, cache=cache, force=args.force, log=log,
+        trace=args.trace,
     )
 
     # The artifact payload (records + certification) is computed once
@@ -372,6 +501,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # would read as coverage.
     for cell in cost["uncovered_cells"]:
         print(f"  uncovered: {cell}")
+    if args.trace:
+        traced = run.traced
+        mismatched = run.trace_mismatches
+        print(
+            f"trace: {len(traced)} run(s) traced, "
+            f"{len(traced) - len(mismatched)} replay-verified, "
+            f"{len(mismatched)} mismatch(es)"
+        )
     print(
         f"suite {suite.name!r}: {len(run.results)} scenarios, "
         f"{run.cache_hits} cached ({run.hit_rate:.0%}), "
@@ -409,17 +546,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sep="\n  ",
         )
         status = 1
+    if args.trace and run.trace_mismatches:
+        details = []
+        for r in run.trace_mismatches:
+            reasons = list(r.trace.get("mismatches", ()))
+            if r.trace.get("cost_model_match") is False:
+                reasons.append("cost-model prediction disagreed")
+            details.append(f"{r.spec.label}: " + "; ".join(reasons))
+        print(f"TRACE MISMATCHES ({len(details)}):", *details, sep="\n  ")
+        status = 1
     return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "info"))
     if args.command == "list":
         return _cmd_list()
     if args.command == "parity":
         return _cmd_parity(args)
     if args.command == "predict":
         return _cmd_predict(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args)
 
 

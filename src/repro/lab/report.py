@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.analysis import format_table
 from ..costmodel.model import COST_METRIC_NAMES
+from ..obs.counters import DETERMINISTIC_COUNTERS
 from .results import FamilyAggregate, ScenarioResult, aggregate
 from .runner import SuiteRun
 
@@ -31,7 +32,10 @@ ARTIFACT_FILENAME = "BENCH_lab.json"
 #: gains a top-level ``certification`` block.
 #: v3: scenario records carry ``cost_model`` blocks and the payload
 #: gains a top-level ``cost_model`` block (symbolic cost-plane oracle).
-ARTIFACT_SCHEMA = "repro.lab/bench.v3"
+#: v4: scenario records carry ``observability`` counter blocks and the
+#: payload gains a top-level ``observability`` block (deterministic
+#: kernel / engine / dictionary-pool counter aggregation).
+ARTIFACT_SCHEMA = "repro.lab/bench.v4"
 
 
 def format_results_table(results: Sequence[ScenarioResult]) -> str:
@@ -140,6 +144,18 @@ def render_markdown(
     if cost["uncovered_cells"]:
         lines += ["", "### Uncovered cells", ""]
         lines += [f"- `{c}`" for c in cost["uncovered_cells"]]
+    obs = observability_payload(records)
+    lines += [
+        "",
+        "## Observability",
+        "",
+        f"{obs['instrumented_runs']}/{obs['runs']} runs carry "
+        f"deterministic counter blocks.",
+        "",
+        "```",
+        format_observability_table(records),
+        "```",
+    ]
     return "\n".join(lines) + "\n"
 
 
@@ -155,13 +171,16 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             "link_utilization", "upper_formula", "lower_formula",
             "gap", "gap_budget", "lower_certified", "formula_certified",
             "tribes_bits_floor", "bound_ok", "cut_bits", "cut_size",
-            "correct", "cost_covered", "cost_exact", "spec_hash",
+            "correct", "cost_covered", "cost_exact",
+            *[name.replace(".", "_") for name in DETERMINISTIC_COUNTERS],
+            "spec_hash",
         ]
     )
     for r in results:
         cost = r.cost_model or {}
         covered = bool(cost.get("covered"))
         exact = cost.get("exact_match")
+        obs = r.observability or {}
         writer.writerow(
             [
                 r.spec.family, r.query_name, r.topology_name,
@@ -175,7 +194,9 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
                 int(r.formula_certified), r.tribes_bits_floor,
                 int(r.bound_ok), r.cut_bits, r.cut_size,
                 int(r.correct), int(covered),
-                "" if exact is None else int(exact), r.spec_hash,
+                "" if exact is None else int(exact),
+                *[int(obs.get(name, 0)) for name in DETERMINISTIC_COUNTERS],
+                r.spec_hash,
             ]
         )
     return buf.getvalue()
@@ -436,6 +457,49 @@ def format_cost_table(records: Sequence[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def observability_payload(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The observability block of the bench artifact.
+
+    Deterministic (pure function of the scenario records): for each
+    whitelisted counter (:data:`~repro.obs.counters
+    .DETERMINISTIC_COUNTERS`) the total across all scenarios and the
+    number of scenarios where it fired at all.  Volatile counters
+    (plan-cache hit/miss) never appear — they depend on process warmth,
+    which would break the serial-vs-parallel byte-identity guarantee.
+    """
+    blocks = [r.get("observability") for r in records]
+    blocks = [b for b in blocks if b is not None]
+    counters: Dict[str, Dict[str, int]] = {}
+    for name in DETERMINISTIC_COUNTERS:
+        values = [int(b.get(name, 0)) for b in blocks]
+        counters[name] = {
+            "total": sum(values),
+            "scenarios": sum(1 for v in values if v),
+        }
+    return {
+        "runs": len(records),
+        "instrumented_runs": len(blocks),
+        "counters": counters,
+    }
+
+
+def format_observability_table(records: Sequence[Dict[str, Any]]) -> str:
+    """The human-readable counter-catalog summary block.
+
+    One row per deterministic counter: the total across the suite and
+    how many scenarios incremented it at least once.
+    """
+    payload = observability_payload(records)
+    header = f"{'counter':<28} {'total':>10} {'scenarios':>9}"
+    lines = [header, "-" * len(header)]
+    for name in DETERMINISTIC_COUNTERS:
+        entry = payload["counters"][name]
+        lines.append(
+            f"{name:<28} {entry['total']:>10} {entry['scenarios']:>9}"
+        )
+    return "\n".join(lines)
+
+
 def parity_failures(
     records: Sequence[Dict[str, Any]], axis: str = "engine"
 ) -> List[str]:
@@ -570,6 +634,7 @@ def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
         "aggregates": [a.to_record() for a in aggregates],
         "certification": certification_payload(records),
         "cost_model": cost_model_payload(records),
+        "observability": observability_payload(records),
     }
     if timings:
         payload["timings"] = timings_payload(run)

@@ -33,7 +33,9 @@ from .spec import ScenarioSpec
 #: bound, cut-accounting transcript numbers, violation flags).
 #: v4: records carry the ``cost_model`` block (symbolic cost-plane
 #: predictions with per-run exact-match verdicts).
-RESULT_SCHEMA = "repro.lab/result.v4"
+#: v5: records carry the ``observability`` block (deterministic kernel /
+#: engine / dictionary-pool counters aggregated per scenario).
+RESULT_SCHEMA = "repro.lab/result.v5"
 
 
 @dataclass
@@ -87,6 +89,22 @@ class ScenarioResult:
             total bits, busiest-link bits/round, per-edge digest), and
             ``exact_match`` — True/False on covered cells, None when
             uncovered (reported, never gated).  None on pre-v4 records.
+        observability: Deterministic per-scenario counter deltas (the
+            :data:`~repro.obs.counters.DETERMINISTIC_COUNTERS` whitelist
+            only): columnar-kernel dispatch vs dict fallback, dictionary
+            pooling paths, fused-solver dispatch, fast-forward
+            engagements.  Volatile counters (e.g. plan-cache hit/miss,
+            which depend on process warmth) are deliberately excluded so
+            the record stays identical across serial, parallel and cached
+            executions.  None on pre-v5 records.
+        trace: The per-run trace-verification verdict when the run was
+            executed with ``--trace`` (volatile — cached results were not
+            re-traced): event count, ``verified``, any ``mismatches``,
+            the replayed totals and the cost-model cross-check.
+        captured_logs: Log lines and warnings raised while executing the
+            scenario (volatile) — captured in ProcessPool workers so
+            parallel runs don't swallow them, re-emitted by the
+            coordinator.
         wall_time: Seconds spent executing (volatile; excluded from the
             deterministic record).
         protocol_wall_time: Seconds spent in the protocol run alone
@@ -122,6 +140,9 @@ class ScenarioResult:
     correct: bool
     answer_digest: str
     cost_model: Optional[Dict[str, Any]] = None
+    observability: Optional[Dict[str, int]] = None
+    trace: Optional[Dict[str, Any]] = None
+    captured_logs: Optional[List[str]] = None
     wall_time: float = 0.0
     protocol_wall_time: float = 0.0
     solver_wall_time: float = 0.0
@@ -161,6 +182,7 @@ class ScenarioResult:
             "correct": self.correct,
             "answer_digest": self.answer_digest,
             "cost_model": self.cost_model,
+            "observability": self.observability,
         }
 
     @classmethod
@@ -196,6 +218,7 @@ class ScenarioResult:
             correct=record["correct"],
             answer_digest=record["answer_digest"],
             cost_model=record.get("cost_model"),
+            observability=record.get("observability"),
             wall_time=0.0,
             cached=cached,
         )

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import sys
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.planner import Planner, assign_single_player, worst_case_assignment
 from ..faq import FAQQuery, bcq
@@ -39,6 +40,10 @@ from ..lowerbounds.cut_simulation import (
     verify_cut_accounting,
 )
 from ..network.topology import Topology
+from ..obs.counters import COUNTERS, counter_delta, deterministic_view
+from ..obs.logging import CaptureHandler, get_logger
+from ..obs.trace import RecordingTracer, TraceEvent, Tracer
+from ..obs.verify import verify_trace
 from ..semiring import get_semiring
 from ..workloads import random_instance, random_query_structure, spawn_seeds
 from .cache import ResultCache
@@ -432,28 +437,96 @@ def certify_costs(
     return block
 
 
-def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def _trace_block(
+    events: Sequence[TraceEvent], report, cost_model: Dict[str, object]
+) -> Dict[str, Any]:
+    """The per-run trace-verification verdict (the fourth axis).
+
+    Replaying the trace's ``Send``/``CycleFastForward`` events must
+    reproduce the measured :class:`~repro.network.simulator
+    .SimulationResult` exactly on all four cost metrics; on cells the
+    symbolic cost model covers, that transitively pins
+    measured = predicted = traced (``cost_model_match``).
+    """
+    # Late import mirrors certify_costs: the digest lives in the
+    # (sympy-aware) costmodel package.
+    from ..costmodel import edge_digest
+
+    verdict = verify_trace(events, report.protocol.simulation)
+    covered = bool(cost_model.get("covered"))
+    return {
+        "events": len(events),
+        "verified": verdict.ok,
+        "mismatches": list(verdict.mismatches),
+        "replayed": {
+            "rounds": verdict.replayed.rounds,
+            "total_bits": verdict.replayed.total_bits,
+            "max_edge_bits_per_round": verdict.replayed.max_edge_bits_per_round,
+            "bits_per_edge_digest": edge_digest(verdict.replayed.bits_per_edge),
+        },
+        "cost_model_match": (
+            (verdict.ok and cost_model.get("exact_match") is True)
+            if covered
+            else None
+        ),
+    }
+
+
+def execute_scenario(spec: ScenarioSpec, trace: bool = False) -> ScenarioResult:
     """Run one scenario end-to-end (deterministically).
 
     This is the worker entry point: it must stay module-level and take
-    only the picklable spec.
+    only picklable arguments.  With ``trace=True`` the run records the
+    full protocol event stream, replays it, and attaches the (volatile)
+    verification verdict — the events themselves never leave the worker.
     """
+    result, _events = _execute_traced(
+        spec, RecordingTracer() if trace else None
+    )
+    return result
+
+
+def record_scenario_trace(
+    spec: ScenarioSpec,
+) -> Tuple[ScenarioResult, List[TraceEvent]]:
+    """Run one scenario with tracing on, returning the raw event stream.
+
+    The ``repro.lab trace`` subcommand's entry point (in-process only:
+    event streams are not shipped across worker boundaries).
+    """
+    tracer = RecordingTracer()
+    result, events = _execute_traced(spec, tracer)
+    return result, events
+
+
+def _execute_traced(
+    spec: ScenarioSpec, tracer: Optional[Tracer]
+) -> Tuple[ScenarioResult, List[TraceEvent]]:
     start = time.perf_counter()
     built = build_query(spec)
     topology = build_topology(spec)
     assignment = build_assignment(spec, built, topology)
+    counters_before = COUNTERS.snapshot()
     planner = Planner(
         built.query, topology, assignment=assignment, backend=spec.backend,
-        engine=spec.engine, solver=spec.solver,
+        engine=spec.engine, solver=spec.solver, tracer=tracer,
     )
     report = planner.execute(max_rounds=spec.max_rounds)
+    observability = deterministic_view(
+        counter_delta(counters_before, COUNTERS.snapshot())
+    )
     predicted = report.predicted
     d = float(predicted.components.get("d", 1.0))
     r = float(predicted.components.get("r", 2.0))
     lower = float(predicted.lower_rounds)
     gap = (report.measured_rounds / lower) if lower > 0 else None
     certification = certify_bounds(spec, planner, report)
-    return ScenarioResult(
+    cost_model = certify_costs(spec, planner, report)
+    events: List[TraceEvent] = list(tracer.events) if tracer is not None else []
+    trace_verdict = (
+        _trace_block(events, report, cost_model) if tracer is not None else None
+    )
+    result = ScenarioResult(
         spec=spec,
         spec_hash=spec.content_hash(),
         topology_name=topology.name,
@@ -478,12 +551,15 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioResult:
         cut_ok=certification["cut_ok"],
         correct=bool(report.correct),
         answer_digest=answer_digest(report.answer.schema, report.answer.rows),
-        cost_model=certify_costs(spec, planner, report),
+        cost_model=cost_model,
+        observability=observability,
+        trace=trace_verdict,
         wall_time=time.perf_counter() - start,
         protocol_wall_time=float(report.protocol_wall_time),
         solver_wall_time=float(report.solver_wall_time),
         cached=False,
     )
+    return result, events
 
 
 def _worker_init(path: List[str]) -> None:
@@ -493,11 +569,36 @@ def _worker_init(path: List[str]) -> None:
             sys.path.append(entry)
 
 
-def _execute_with_context(spec: ScenarioSpec) -> ScenarioResult:
+def _execute_with_context(
+    spec: ScenarioSpec, trace: bool = False
+) -> ScenarioResult:
+    """Execute one scenario, capturing its log records and warnings.
+
+    ProcessPool workers print to their own (discarded) stderr, so
+    anything a scenario logs or warns would silently vanish under
+    ``--jobs N``.  Capture both here — inside the worker — and attach
+    them to the (picklable) result; the coordinator re-emits them.
+    """
+    capture = CaptureHandler()
+    logger = get_logger()
+    logger.addHandler(capture)
     try:
-        return execute_scenario(spec)
-    except Exception as exc:
-        raise RuntimeError(f"scenario {spec.label} failed: {exc}") from exc
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            try:
+                result = execute_scenario(spec, trace=trace)
+            except Exception as exc:
+                raise RuntimeError(
+                    f"scenario {spec.label} failed: {exc}"
+                ) from exc
+    finally:
+        logger.removeHandler(capture)
+    lines = list(capture.lines)
+    lines.extend(
+        f"WARNING {w.category.__name__}: {w.message}" for w in caught
+    )
+    result.captured_logs = lines or None
+    return result
 
 
 @dataclass
@@ -530,6 +631,21 @@ class SuiteRun:
     def all_correct(self) -> bool:
         return all(r.correct for r in self.results)
 
+    @property
+    def traced(self) -> List[ScenarioResult]:
+        """Results executed fresh with a trace verdict attached."""
+        return [r for r in self.results if r.trace is not None]
+
+    @property
+    def trace_mismatches(self) -> List[ScenarioResult]:
+        """Traced results whose replay (or cost-model cross-check) failed."""
+        return [
+            r
+            for r in self.traced
+            if not r.trace.get("verified")
+            or r.trace.get("cost_model_match") is False
+        ]
+
 
 def run_suite(
     suite: SuiteSpec,
@@ -537,6 +653,7 @@ def run_suite(
     cache: Optional[ResultCache] = None,
     force: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> SuiteRun:
     """Execute a suite: cache lookups, then (parallel) fresh runs.
 
@@ -547,6 +664,9 @@ def run_suite(
             are persisted.  ``None`` disables caching entirely.
         force: Ignore cache *reads* (still writes), re-running everything.
         log: Optional progress sink (e.g. ``print``).
+        trace: Record and replay-verify the protocol event stream of
+            every freshly-executed scenario, attaching the (volatile)
+            verdict as ``result.trace``.  Cached hits are not re-traced.
 
     Returns:
         A :class:`SuiteRun` whose ``results`` follow suite order exactly,
@@ -587,20 +707,24 @@ def run_suite(
         by_hash[key] = result
         if cache is not None:
             cache.put(key, result.deterministic_record())
+        # Re-emit what the worker captured: log records and warnings
+        # raised inside a ProcessPool worker would otherwise vanish.
+        for line in result.captured_logs or ():
+            emit(f"[log  ] {spec.label}: {line}")
         emit(f"[done ] {spec.label}: rounds={result.measured_rounds}")
 
     if pending:
         if jobs == 1 or len(pending) == 1:
             for spec, key in zip(pending, pending_hashes):
                 emit(f"[run  ] {spec.label}")
-                finish(spec, key, _execute_with_context(spec))
+                finish(spec, key, _execute_with_context(spec, trace))
         else:
             emit(f"[pool ] {len(pending)} scenarios on {jobs} workers")
             with ProcessPoolExecutor(
                 max_workers=jobs, initializer=_worker_init, initargs=(list(sys.path),)
             ) as pool:
                 futures = {
-                    pool.submit(_execute_with_context, spec): (spec, key)
+                    pool.submit(_execute_with_context, spec, trace): (spec, key)
                     for spec, key in zip(pending, pending_hashes)
                 }
                 failure: Optional[BaseException] = None

@@ -35,6 +35,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.counters import COUNTERS
+from ..obs.trace import Tracer, normalize as _normalize_tracer
 from .simulator import (
     CapacityExceeded,
     SimulationError,
@@ -103,6 +105,9 @@ class ProgramContext:
         self.capacity = capacity
         self.round = 0
         self.queues: Dict[Tuple[str, str], deque] = {}
+        #: The run's tracer (or None) — ops with trace-worthy internal
+        #: structure (ComputeStep) read it; set by :func:`run_program`.
+        self.tracer: Optional[Tracer] = None
         self._sent: Dict[str, int] = {}
         self._outbox: List[BlockMessage] = []
 
@@ -227,6 +232,9 @@ class ComputeStep(ProgramOp):
 
     def step(self, ctx: ProgramContext) -> bool:
         self.value = self.fn(ctx)
+        tracer = ctx.tracer
+        if tracer is not None:
+            tracer.compute_step(ctx.round, ctx.node, self.label)
         return True
 
 
@@ -735,6 +743,7 @@ def run_program(
     programs: Dict[str, NodeProgram],
     max_rounds: int = 1_000_000,
     fast_forward: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> SimulationResult:
     """Execute compiled node programs in synchronous lockstep rounds.
 
@@ -751,6 +760,11 @@ def run_program(
     stepping every round (``fast_forward=False`` steps every round and
     must produce byte-identical results; tests assert this).
 
+    With a live ``tracer``, every round boundary, block send, compute
+    step and fast-forward jump is emitted as a typed event; the jump
+    event carries the cycle's send signatures so replaying the trace
+    reproduces the accounting exactly (:mod:`repro.obs.verify`).
+
     Raises:
         SimulationError: on deadlock (a round in which no node made any
             progress) or when ``max_rounds`` is exceeded; the error names
@@ -763,10 +777,15 @@ def run_program(
     if unknown:
         raise ValueError(f"programs for nodes not in G: {unknown}")
 
+    tracer = _normalize_tracer(tracer)
     contexts = {
         node: ProgramContext(node, topology, capacity_bits)
         for node in programs
     }
+    if tracer is not None:
+        tracer.run_start("compiled", capacity_bits, list(topology.nodes))
+        for ctx in contexts.values():
+            ctx.tracer = tracer
     live = deque(sorted(node for node, prog in programs.items() if not prog.done))
     outputs: Dict[str, Any] = {
         node: prog.output for node, prog in programs.items() if prog.done
@@ -798,6 +817,8 @@ def run_program(
     round_no = 0
     while True:
         round_no += 1
+        if tracer is not None:
+            tracer.round_start(round_no)
         if round_no > max_rounds:
             blocked = blocked_map()
             raise SimulationError(
@@ -850,6 +871,13 @@ def run_program(
             busiest = max(round_edge_bits.values())
             if busiest > max_edge_bits_per_round:
                 max_edge_bits_per_round = busiest
+        if tracer is not None:
+            for blk in round_sends:
+                tracer.send(
+                    round_no, blk.src, blk.dst, blk.bits, tag=blk.tag,
+                    kind=blk.kind, count=blk.count, messages=blk.messages,
+                )
+            tracer.round_end(round_no, round_bits, round_msgs)
 
         if not live and not round_sends:
             break
@@ -915,6 +943,23 @@ def run_program(
                     bits_per_edge[link] = bits_per_edge.get(link, 0) + k * bits
                     key = tuple(sorted(link))
                     edge_bits[key] = edge_bits.get(key, 0) + k * bits
+            COUNTERS.increment("engine.fast_forward")
+            COUNTERS.increment("engine.fast_forward_rounds", k * period)
+            if tracer is not None:
+                tracer.cycle_fast_forward(
+                    start_round=round_no,
+                    period=period,
+                    repeats=k,
+                    end_round=round_no + k * period,
+                    cycle=tuple(
+                        tuple(
+                            (src, dst, tag, kind, bits)
+                            for src, dst, tag, kind, bits, _count, _meta
+                            in c[0]
+                        )
+                        for c in cycle
+                    ),
+                )
             round_no += k * period
             last_send_round = round_no
             last_delivery_round = round_no

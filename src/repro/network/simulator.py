@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
+from ..obs.trace import Tracer, normalize as _normalize_tracer
 from .topology import Topology
 
 
@@ -198,6 +199,10 @@ class Simulator:
         capacity_bits: Per-edge per-direction bits per round (``B``).
         max_rounds: Hard cap; exceeding it raises :class:`SimulationError`
             (a protocol bug or deadlock).
+        tracer: Optional :class:`repro.obs.trace.Tracer`.  Disabled
+            tracers (including ``None``) are normalized to ``None``
+            up front, so tracing-off costs a single ``is not None``
+            check per guard site and not one method call per event.
     """
 
     def __init__(
@@ -205,12 +210,14 @@ class Simulator:
         topology: Topology,
         capacity_bits: int,
         max_rounds: int = 1_000_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if capacity_bits < 1:
             raise ValueError("capacity must be at least 1 bit per round")
         self.topology = topology
         self.capacity_bits = capacity_bits
         self.max_rounds = max_rounds
+        self.tracer = _normalize_tracer(tracer)
 
     def run(self, processes: Dict[str, ProcessFactory]) -> SimulationResult:
         """Execute one protocol.
@@ -255,9 +262,17 @@ class Simulator:
         bits_per_edge: Dict[Tuple[str, str], int] = {}
         max_edge_bits_per_round = 0
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.run_start(
+                "generator", self.capacity_bits, list(self.topology.nodes)
+            )
+
         round_no = 0
         while True:
             round_no += 1
+            if tracer is not None:
+                tracer.round_start(round_no)
             if round_no > self.max_rounds:
                 blocked = {
                     node: sorted({m.tag for m in pending if m.dst == node})
@@ -307,6 +322,25 @@ class Simulator:
                 busiest = max(round_edge_bits.values())
                 if busiest > max_edge_bits_per_round:
                     max_edge_bits_per_round = busiest
+            if tracer is not None:
+                # Coalesce the round's per-tuple messages into one event
+                # per (edge, tag) stream — replay needs edge/round bit
+                # totals, not tuple granularity.
+                streams: Dict[Tuple[str, str, str], List[int]] = {}
+                for msg in pending:
+                    acc = streams.setdefault((msg.src, msg.dst, msg.tag), [0, 0])
+                    acc[0] += msg.bits
+                    acc[1] += 1
+                for (src, dst, tag), (bits, count) in streams.items():
+                    tracer.send(
+                        round_no, src, dst, bits, tag=tag, kind="msg",
+                        count=count, messages=count,
+                    )
+                tracer.round_end(
+                    round_no,
+                    sum(m.bits for m in pending),
+                    len(pending),
+                )
             for node in finished:
                 del generators[node]
 
@@ -335,7 +369,8 @@ class Simulator:
         from .program import run_program
 
         return run_program(
-            self.topology, self.capacity_bits, programs, self.max_rounds
+            self.topology, self.capacity_bits, programs, self.max_rounds,
+            tracer=self.tracer,
         )
 
 

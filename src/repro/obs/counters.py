@@ -1,0 +1,93 @@
+"""Process-wide tagged counters for the repository's fast paths.
+
+The cost model predicts *what* a run costs; these counters record *which
+machinery* produced it: did the plan cache hit, did dictionary interning
+take the superset shortcut or pay the merge, did an operator dispatch to
+the columnar kernel or fall back to the dict path, did the compiled
+engine fast-forward.  Counting is a dict upsert per event — cheap enough
+to stay always-on (unlike tracing, which is opt-in per run).
+
+The registry is per-process (lab workers each count their own work); the
+lab snapshots it around each scenario execution and stores the **delta**
+on the result.  Two determinism classes:
+
+* :data:`DETERMINISTIC_COUNTERS` — a pure function of the scenario
+  (kernel dispatch, pooling strategy, fast-forward engagements,
+  plan-cache *lookups*).  These enter the deterministic result record
+  and the BENCH artifact, so serial/parallel/cached runs stay
+  byte-identical.
+* Everything else — notably ``plan_cache.hit`` / ``plan_cache.miss``,
+  which depend on process warmth (which worker ran which scenario
+  first) — is volatile: reported on stdout, never persisted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Counters that are a pure function of one scenario execution —
+#: identical whether the scenario ran serially, on a worker, first or
+#: last.  Only these may enter deterministic records and artifacts.
+DETERMINISTIC_COUNTERS = (
+    "engine.fast_forward",
+    "engine.fast_forward_rounds",
+    "dict_pool.superset",
+    "dict_pool.merge",
+    "dict_pool.generic",
+    "kernel.columnar",
+    "kernel.dict_fallback",
+    "solver.fused_vectorized",
+    "solver.fused_fallback",
+    "plan_cache.lookups",
+    "plan_cache.uncacheable",
+)
+
+
+class CounterRegistry:
+    """A flat name -> count map with snapshot/reset semantics."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at 0)."""
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """An immutable-by-copy view of every counter."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmarks isolate with this)."""
+        self._counts.clear()
+
+
+def counter_delta(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> Dict[str, int]:
+    """Counters that advanced between two snapshots (positive deltas only)."""
+    delta = {}
+    for name, value in after.items():
+        moved = value - before.get(name, 0)
+        if moved:
+            delta[name] = moved
+    return delta
+
+
+def deterministic_view(delta: Mapping[str, int]) -> Dict[str, int]:
+    """The persistable subset of a delta, in canonical counter order."""
+    return {
+        name: delta[name]
+        for name in DETERMINISTIC_COUNTERS
+        if delta.get(name)
+    }
+
+
+#: The process-wide registry every hook site increments.
+COUNTERS = CounterRegistry()

@@ -1,0 +1,80 @@
+"""Structured logging for the lab CLI and the suite runner.
+
+One module-level configuration point (the SNIPPETS §3 pattern): every
+``repro`` module logs through ``logging.getLogger("repro.<module>")``,
+and :func:`configure` installs a single stdout handler on the ``repro``
+root with a plain ``%(message)s`` format — log lines interleave with
+the CLI's result tables exactly like the prints they replace, but are
+level-filterable (``--log-level``) and capturable (the ProcessPool
+workers attach a capture handler so parallel runs are as debuggable as
+``--jobs 1``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import List, Optional
+
+#: The root logger name every repro module hangs under.
+ROOT_LOGGER = "repro"
+
+#: CLI-facing level names (``--log-level`` choices).
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` root logger, or a child (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(level: str = "info", stream=None) -> logging.Logger:
+    """Install the CLI logging setup (idempotent).
+
+    A single ``%(message)s`` StreamHandler on stdout — progress lines
+    keep their historical look — with the requested level on the
+    ``repro`` root.  Re-invoking replaces the previous CLI handler
+    instead of stacking duplicates.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; known: {', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(getattr(logging, level.upper()))
+    stream = stream if stream is not None else sys.stdout
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    # The CLI handler is the configured sink; don't double-print through
+    # the root logger's handlers (pytest installs its own).
+    logger.propagate = False
+    return logger
+
+
+class CaptureHandler(logging.Handler):
+    """Buffers formatted records — the worker-side capture sink.
+
+    ProcessPool workers attach one around each scenario execution so
+    log records raised in the worker survive the process boundary as
+    plain strings on the result (re-emitted by the coordinator).
+    """
+
+    def __init__(self, level: int = logging.DEBUG) -> None:
+        super().__init__(level)
+        self.lines: List[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            message = record.getMessage()
+        except Exception:  # pragma: no cover - malformed record args
+            message = str(record.msg)
+        self.lines.append(f"{record.levelname} {record.name}: {message}")

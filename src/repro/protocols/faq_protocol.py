@@ -24,8 +24,11 @@ which the benchmarks compare against the Ω̃ lower-bound formulas.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.trace import Tracer, normalize as _normalize_tracer
 
 from ..decomposition import GHD, best_gyo_ghd
 from ..faq import (
@@ -543,6 +546,7 @@ def run_distributed_faq(
     max_rounds: int = 2_000_000,
     engine: str = "generator",
     solver: str = "operator",
+    tracer: Optional[Tracer] = None,
 ) -> FAQProtocolReport:
     """Compile and run the distributed FAQ protocol on the simulator.
 
@@ -560,17 +564,25 @@ def run_distributed_faq(
             query plans).  Orthogonal to ``engine``: it never touches
             what goes over the wire, so answers, round counts and bit
             accounting are identical across solvers.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when enabled,
+            the simulator emits per-round protocol events and this entry
+            point records a ``plan_compile`` phase timer.  A disabled or
+            absent tracer costs one attribute check per guard.
 
     Returns:
         An :class:`FAQProtocolReport` with the answer factor and exact
         round/bit accounting.
     """
     validate_engine(engine)
+    tracer = _normalize_tracer(tracer)
+    compile_start = time.perf_counter()
     plan = compile_plan(
         query, topology, assignment, output_player, ghd, max_diameter,
         solver=solver,
     )
-    sim = Simulator(topology, plan.capacity_bits, max_rounds)
+    if tracer is not None:
+        tracer.phase_timer("plan_compile", time.perf_counter() - compile_start)
+    sim = Simulator(topology, plan.capacity_bits, max_rounds, tracer=tracer)
     if engine == "compiled":
         from .compiler import compile_round_programs
 

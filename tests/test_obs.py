@@ -1,0 +1,512 @@
+"""Coverage for the observability plane (:mod:`repro.obs`).
+
+Four contracts:
+
+* **Zero-cost when off** — a ``None`` tracer and a disabled
+  :class:`~repro.obs.trace.Tracer` normalize to the *same* ``None`` fast
+  path, a traced run returns byte-identical answers/accounting to an
+  untraced one, and the disabled-mode wall-clock overhead on a scaling
+  scenario stays under 2% (interleaved min-of-N).
+* **Self-verification** — replaying a trace's ``Send`` /
+  ``CycleFastForward`` events reproduces the measured
+  ``SimulationResult`` exactly on all four cost metrics, on both
+  engines, including fast-forwarded compiled runs; tampered traces are
+  caught with a named metric.
+* **Counters** — deterministic counters ride the scenario record (and
+  survive the cache byte-identically); volatile ones (plan-cache
+  hit/miss) never enter the deterministic view.
+* **Export** — JSONL round-trips, the Chrome trace-event payload has
+  the Perfetto-loadable shape, and the terminal timeline (pinned as a
+  golden file) annotates fast-forwarded stretches.
+"""
+
+import json
+import logging
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.core.planner import Planner
+from repro.lab import SuiteSpec, run_suite
+from repro.lab.__main__ import main as lab_main
+from repro.lab.runner import (
+    _execute_with_context,
+    build_assignment,
+    build_query,
+    build_topology,
+    execute_scenario,
+    record_scenario_trace,
+)
+from repro.lab.suites import register_suite
+from repro.obs import (
+    COUNTERS,
+    DETERMINISTIC_COUNTERS,
+    CounterRegistry,
+    RecordingTracer,
+    Tracer,
+    counter_delta,
+    verify_trace,
+)
+from repro.obs.counters import deterministic_view
+from repro.obs.export import (
+    events_to_chrome_trace,
+    events_to_jsonl,
+    format_timeline,
+)
+from repro.obs.logging import CaptureHandler, configure, get_logger
+from repro.obs.trace import (
+    CycleFastForwardEvent,
+    PhaseTimerEvent,
+    RunStartEvent,
+    SendEvent,
+    activate,
+    active_tracer,
+    normalize,
+)
+from test_lab_report import golden_spec, golden_suite
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _traced_run(spec):
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    tracer = RecordingTracer()
+    planner = Planner(
+        built.query, topology, assignment=assignment, backend=spec.backend,
+        engine=spec.engine, solver=spec.solver, tracer=tracer,
+    )
+    report = planner.execute(max_rounds=spec.max_rounds)
+    return report, tracer.events
+
+
+# ---------------------------------------------------------------------------
+# Tracer core: normalization and the disabled fast path
+# ---------------------------------------------------------------------------
+
+
+def test_normalize_strips_disabled_tracers():
+    # The structural basis of the <2% overhead claim: a disabled tracer
+    # IS the no-tracer path — engines hold None either way, so the hot
+    # loop pays exactly one ``is not None`` per guard.
+    assert normalize(None) is None
+    assert normalize(Tracer()) is None
+    live = RecordingTracer()
+    assert normalize(live) is live
+
+
+def test_noop_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.run_start("generator", 10, ["a", "b"])
+    tracer.round_start(1)
+    tracer.send(1, "a", "b", 10)
+    tracer.round_end(1, 10, 1)
+    tracer.compute_step(1, "a", "x")
+    tracer.cycle_fast_forward(
+        start_round=1, period=1, repeats=3, end_round=4, cycle=()
+    )
+    tracer.phase_timer("solve", 0.1)
+    assert not tracer.enabled
+    assert not hasattr(tracer, "events") or not tracer.events
+
+
+def test_activate_scopes_the_module_level_tracer():
+    assert active_tracer() is None
+    live = RecordingTracer()
+    with activate(live):
+        assert active_tracer() is live
+        with activate(None):
+            assert active_tracer() is None
+        assert active_tracer() is live
+    assert active_tracer() is None
+    # Disabled tracers never become active either.
+    with activate(Tracer()):
+        assert active_tracer() is None
+
+
+def test_planner_accepts_and_normalizes_disabled_tracer():
+    spec = golden_spec()
+    built = build_query(spec)
+    topology = build_topology(spec)
+    planner = Planner(
+        built.query, topology,
+        assignment=build_assignment(spec, built, topology),
+        tracer=Tracer(),
+    )
+    assert planner.tracer is None
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical traced vs untraced runs
+# ---------------------------------------------------------------------------
+
+
+def test_traced_run_is_byte_identical_to_untraced():
+    for engine in ("generator", "compiled"):
+        spec = golden_spec(engine=engine)
+        plain = execute_scenario(spec)
+        traced = execute_scenario(spec, trace=True)
+        assert traced.trace is not None and traced.trace["verified"]
+        assert plain.trace is None
+        # The deterministic record — answers, rounds, bits, counters —
+        # must not depend on whether the run was observed.
+        assert (
+            plain.deterministic_record() == traced.deterministic_record()
+        )
+
+
+def test_disabled_tracer_overhead_under_two_percent():
+    # Interleaved min-of-N on a scaling scenario: the disabled path is
+    # structurally the no-tracer path (see normalize test), so the only
+    # residual is the per-guard None check.  min() filters scheduler
+    # noise; interleaving filters thermal drift.
+    from repro.protocols.faq_protocol import run_distributed_faq
+
+    spec = golden_spec(engine="compiled", n=96)
+    built = build_query(spec)
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    plain, disabled = [], []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        run_distributed_faq(
+            built.query, topology, assignment, engine=spec.engine
+        )
+        plain.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_distributed_faq(
+            built.query, topology, assignment, engine=spec.engine,
+            tracer=Tracer(),
+        )
+        disabled.append(time.perf_counter() - t0)
+    assert min(disabled) <= min(plain) * 1.02
+
+
+# ---------------------------------------------------------------------------
+# Self-verification: replay == measured, both engines, fast-forward
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["generator", "compiled"])
+def test_replay_reproduces_measured_run(engine):
+    report, events = _traced_run(golden_spec(engine=engine))
+    simulation = report.protocol.simulation
+    verdict = verify_trace(events, simulation)
+    assert verdict.ok, verdict.mismatches
+    assert verdict.replayed.rounds == simulation.rounds
+    assert verdict.replayed.total_bits == simulation.total_bits
+    assert verdict.replayed.bits_per_edge == dict(simulation.bits_per_edge)
+    assert (
+        verdict.replayed.max_edge_bits_per_round
+        == simulation.max_edge_bits_per_round
+    )
+
+
+def test_replay_covers_fast_forwarded_rounds():
+    # The compiled engine skips steady-state cycles arithmetically; the
+    # trace must carry the jump so the replay covers the skipped rounds.
+    report, events = _traced_run(golden_spec(engine="compiled"))
+    jumps = [e for e in events if isinstance(e, CycleFastForwardEvent)]
+    assert jumps, "expected the compiled run to fast-forward"
+    assert all(
+        j.rounds_skipped == j.repeats * j.period and j.cycle for j in jumps
+    )
+    verdict = verify_trace(events, report.protocol.simulation)
+    assert verdict.ok, verdict.mismatches
+
+
+def test_tampered_trace_is_caught_with_named_metric():
+    report, events = _traced_run(golden_spec())
+    idx, send = next(
+        (i, e) for i, e in enumerate(events) if isinstance(e, SendEvent)
+    )
+    tampered = list(events)
+    tampered[idx] = SendEvent(
+        round=send.round, src=send.src, dst=send.dst, bits=send.bits + 1,
+        tag=send.tag, kind=send.kind, count=send.count,
+        messages=send.messages,
+    )
+    verdict = verify_trace(tampered, report.protocol.simulation)
+    assert not verdict.ok
+    assert any("total_bits" in m for m in verdict.mismatches)
+    dropped = [e for e in events if not isinstance(e, SendEvent)]
+    verdict = verify_trace(dropped, report.protocol.simulation)
+    assert not verdict.ok
+
+
+def test_phase_timers_cover_the_pipeline():
+    # ``intern`` needs a columnar execution (dictionary pooling only
+    # happens when every factor is columnar over a supported semiring).
+    _report, events = _traced_run(
+        golden_spec(solver="compiled", backend="columnar")
+    )
+    phases = {e.phase for e in events if isinstance(e, PhaseTimerEvent)}
+    assert {"plan_compile", "protocol", "solve", "intern"} <= phases
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+
+def test_counter_registry_and_delta():
+    reg = CounterRegistry()
+    reg.increment("a")
+    reg.increment("a", 2)
+    reg.increment("b")
+    assert reg.get("a") == 3 and reg.get("missing") == 0
+    before = reg.snapshot()
+    reg.increment("a", 4)
+    reg.increment("c")
+    assert counter_delta(before, reg.snapshot()) == {"a": 4, "c": 1}
+    reg.reset()
+    assert reg.snapshot() == {}
+
+
+def test_deterministic_view_excludes_volatile_counters():
+    # plan_cache.hit/miss depend on process warmth — a cached-vs-fresh
+    # or serial-vs-parallel run would diverge if they entered records.
+    delta = {"plan_cache.hit": 5, "plan_cache.miss": 2,
+             "kernel.columnar": 7, "unknown.counter": 1}
+    view = deterministic_view(delta)
+    assert view == {"kernel.columnar": 7}
+    assert "plan_cache.hit" not in DETERMINISTIC_COUNTERS
+    assert "plan_cache.miss" not in DETERMINISTIC_COUNTERS
+    assert "plan_cache.lookups" in DETERMINISTIC_COUNTERS
+
+
+def test_scenario_records_carry_deterministic_counters():
+    spec = golden_spec(engine="compiled", backend="columnar",
+                       solver="compiled")
+    result = execute_scenario(spec)
+    obs = result.observability
+    assert obs is not None
+    assert set(obs) <= set(DETERMINISTIC_COUNTERS)
+    assert obs.get("engine.fast_forward", 0) >= 1
+    assert obs.get("solver.fused_vectorized", 0) >= 1
+    # And they survive the artifact/cache round trip bit-for-bit.
+    rec = result.deterministic_record()
+    assert rec["observability"] == obs
+    from repro.lab.results import ScenarioResult
+
+    assert ScenarioResult.from_record(rec).observability == obs
+
+
+def test_plan_cache_counters_fire():
+    from repro.faq.plan import PlanCache
+
+    cache = PlanCache()
+    before = COUNTERS.snapshot()
+    cache.get(None)
+    cache.get("k")
+    cache.put("k", object())
+    cache.get("k")
+    delta = counter_delta(before, COUNTERS.snapshot())
+    assert delta["plan_cache.uncacheable"] == 1
+    assert delta["plan_cache.lookups"] == 2
+    assert delta["plan_cache.miss"] == 1
+    assert delta["plan_cache.hit"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Export surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_export_round_trips():
+    _report, events = _traced_run(golden_spec(engine="compiled"))
+    lines = events_to_jsonl(events).splitlines()
+    assert len(lines) == len(events)
+    parsed = [json.loads(line) for line in lines]
+    types = {p["type"] for p in parsed}
+    assert {"RunStart", "RoundStart", "RoundEnd", "Send",
+            "CycleFastForward", "PhaseTimer"} <= types
+    sends = [p for p in parsed if p["type"] == "Send"]
+    originals = [e for e in events if isinstance(e, SendEvent)]
+    assert [s["bits"] for s in sends] == [e.bits for e in originals]
+
+
+def test_chrome_trace_has_perfetto_shape():
+    _report, events = _traced_run(golden_spec(engine="compiled"))
+    payload = events_to_chrome_trace(events)
+    assert payload["displayTimeUnit"] == "ms"
+    trace = payload["traceEvents"]
+    assert trace
+    assert all({"ph", "pid", "tid", "name"} <= set(e) for e in trace)
+    assert all(e["ph"] in ("M", "X") for e in trace)
+    # One process for nodes, one for links, named via metadata events.
+    names = {
+        e["args"]["name"]
+        for e in trace
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {"nodes", "links"}
+    run = next(e for e in events if isinstance(e, RunStartEvent))
+    slices = [e for e in trace if e["ph"] == "X" and e["pid"] == 2]
+    assert slices and all(
+        e["dur"] <= 1000 and e["dur"] >= 1 for e in slices
+    )
+    json.dumps(payload)  # strictly serializable
+
+
+def test_timeline_matches_golden():
+    _report, events = _traced_run(golden_spec(engine="compiled"))
+    rendered = format_timeline(events)
+    with open(os.path.join(GOLDEN_DIR, "TIMELINE_golden.txt")) as fh:
+        expected = fh.read()
+    assert rendered + "\n" == expected, (
+        "terminal timeline drifted from tests/golden/TIMELINE_golden.txt; "
+        "regenerate it if the change is intentional (see golden README)"
+    )
+    assert ">> fast-forward" in rendered
+
+
+def test_timeline_elides_explicitly():
+    events = [RunStartEvent("generator", 4, ["a", "b"])]
+    for r in range(1, 41):
+        events.append(SendEvent(round=r, src="a", dst="b", bits=4))
+    text = format_timeline(events, max_rounds=10)
+    assert "round(s) elided" in text
+    assert "totals: 160 bits" in text
+    assert format_timeline([events[0]]).endswith("no traffic traced")
+
+
+# ---------------------------------------------------------------------------
+# Logging + worker capture
+# ---------------------------------------------------------------------------
+
+
+def test_configure_is_idempotent_and_validates():
+    logger = configure("info")
+    cli_handlers = [
+        h for h in logger.handlers if getattr(h, "_repro_cli", False)
+    ]
+    assert len(cli_handlers) == 1
+    configure("debug")
+    cli_handlers = [
+        h for h in logger.handlers if getattr(h, "_repro_cli", False)
+    ]
+    assert len(cli_handlers) == 1
+    assert logger.level == logging.DEBUG
+    with pytest.raises(ValueError):
+        configure("loud")
+    configure("info")
+
+
+def test_worker_capture_preserves_logs_and_warnings(monkeypatch):
+    # A scenario that logs and warns mid-execution: both must survive
+    # onto the (picklable) result instead of dying with the worker's
+    # stderr.
+    import repro.lab.runner as runner_mod
+
+    real_build = runner_mod.build_query
+
+    def noisy_build(spec):
+        get_logger("test").info("building %s", spec.query)
+        warnings.warn("synthetic scenario warning")
+        return real_build(spec)
+
+    monkeypatch.setattr(runner_mod, "build_query", noisy_build)
+    result = _execute_with_context(golden_spec())
+    assert any(
+        "building hard-star" in line for line in result.captured_logs
+    )
+    assert any(
+        "synthetic scenario warning" in line
+        for line in result.captured_logs
+    )
+    # And the coordinator re-emits them through the progress sink.
+    emitted = []
+    run = run_suite(
+        SuiteSpec("one", (golden_spec(),)), log=emitted.append
+    )
+    assert any("synthetic scenario warning" in line for line in emitted)
+    assert run.results[0].captured_logs
+
+
+# ---------------------------------------------------------------------------
+# CLI: trace subcommand + run --trace gate
+# ---------------------------------------------------------------------------
+
+
+def test_cli_trace_subcommand_writes_and_verifies(tmp_path, capsys):
+    register_suite("golden", golden_suite, overwrite=True)
+    code = lab_main(
+        ["trace", "golden", "--scenario", "compiled",
+         "--out", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace verified" in out
+    assert ">> fast-forward" in out
+    written = sorted(os.listdir(tmp_path))
+    assert any(name.endswith(".jsonl") for name in written)
+    (chrome,) = [n for n in written if n.endswith(".chrome.json")]
+    payload = json.load(open(os.path.join(tmp_path, chrome)))
+    assert payload["traceEvents"]
+    assert all(
+        {"ph", "pid", "tid", "name"} <= set(e)
+        for e in payload["traceEvents"]
+    )
+
+
+def test_cli_trace_unknown_scenario_lists_labels(tmp_path, capsys):
+    register_suite("golden", golden_suite, overwrite=True)
+    code = lab_main(
+        ["trace", "golden", "--scenario", "no-such-label",
+         "--out", str(tmp_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "no scenario" in out and "golden-star" in out
+
+
+def test_cli_run_trace_gates_on_replay(tmp_path, capsys, monkeypatch):
+    register_suite("golden", golden_suite, overwrite=True)
+    code = lab_main(
+        ["run", "golden", "--out", str(tmp_path), "--no-cache",
+         "--quiet", "--trace"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "trace: 3 run(s) traced, 3 replay-verified, 0 mismatch(es)" in out
+
+    # Sabotage the replay: every verdict comes back mismatched.
+    from repro.obs.verify import ReplayedTotals, TraceVerdict
+
+    monkeypatch.setattr(
+        "repro.lab.runner.verify_trace",
+        lambda events, sim: TraceVerdict(
+            ok=False,
+            mismatches=["total_bits replayed=0 measured=1"],
+            replayed=ReplayedTotals(0, 0, {}, 0),
+        ),
+    )
+    code = lab_main(
+        ["run", "golden", "--out", str(tmp_path), "--no-cache",
+         "--quiet", "--trace"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "TRACE MISMATCHES (3)" in out
+    assert "total_bits replayed=0" in out
+
+
+def test_cli_log_level_filters_progress(tmp_path, capsys):
+    register_suite("golden", golden_suite, overwrite=True)
+    code = lab_main(
+        ["run", "golden", "--out", str(tmp_path), "--no-cache",
+         "--log-level", "error"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[run  ]" not in out and "[done ]" not in out
+    code = lab_main(
+        ["run", "golden", "--out", str(tmp_path), "--no-cache"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[cache]" in out or "[run  ]" in out
