@@ -19,4 +19,9 @@ setup(
     python_requires=">=3.9",
     # NumPy backs the columnar factor backend (repro.semiring.columnar).
     install_requires=["numpy>=1.22", "networkx>=2.6"],
+    extras_require={
+        # The optional JIT kernel tier (repro.kernels); without it the
+        # "jit" tier transparently resolves to the NumPy implementations.
+        "jit": ["numba>=0.57"],
+    },
 )

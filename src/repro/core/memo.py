@@ -1,0 +1,131 @@
+"""Structural memoization — sharing pure graph work across axis planes.
+
+Every scenario identity in a lab grid runs once per axis plane (engine ×
+solver × backend × kernels), and the planes are *accounting-identical*
+by construction (the parity gates enforce it).  The expensive inputs to
+a plan, however, are pure functions of graph structure alone: Steiner
+tree packings and the Δ-grid scan over them (:mod:`repro.network
+.steiner`), minimum K-separating cuts (:mod:`repro.network.mincut`), and
+the symbolic cost prediction of a plan skeleton.  Recomputing them per
+plane is the dominant cost of a suite run — profiled at roughly half of
+per-scenario wall time — so this module gives each such function a
+process-wide LRU keyed on its *structural* inputs.
+
+Two invariants make the memo plane safe:
+
+* **Purity** — every memoized function is deterministic in its key; the
+  memo can only substitute a value for the identical computation.
+  Mutable results are defensively shallow-copied on every hit (the
+  elements themselves — :class:`~repro.network.steiner.SteinerTree`,
+  edge tuples, node names — are immutable).
+* **Counter-neutrality** — none of the memoized code paths increment
+  any :data:`~repro.obs.counters.DETERMINISTIC_COUNTERS` member, so a
+  memo hit cannot perturb the per-scenario observability delta the lab
+  snapshots; serial, parallel and batched runs stay byte-identical.
+  (Tests grep-assert the second invariant indirectly: the full
+  differential suite runs with the memo hot and cold.)
+
+Keys for :class:`~repro.network.topology.Topology` arguments come from
+:func:`topology_key` — the sorted edge tuple, cached on the instance —
+so two structurally equal topologies share entries regardless of name.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+_MISSING = object()
+
+
+class LRUMemo:
+    """A tiny process-wide LRU map: ``get_or_compute(key, thunk)``.
+
+    Not thread-safe by design — the engines are single-threaded per
+    process (lab parallelism is process-based, each worker owns its own
+    memo).
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+
+    def __init__(self, name: str, maxsize: int = 4096) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        _REGISTRY[name] = self
+
+    def get_or_compute(self, key: Hashable, thunk: Callable[[], Any]) -> Any:
+        data = self._data
+        value = data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = thunk()
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: All live memos by name — introspection for ``--timings`` and tests.
+_REGISTRY: Dict[str, LRUMemo] = {}
+
+
+def memo_stats() -> Dict[str, Dict[str, int]]:
+    """Per-memo ``{hits, misses, size}`` — the ``--timings`` memo block."""
+    return {
+        name: {
+            "hits": memo.hits,
+            "misses": memo.misses,
+            "size": len(memo),
+        }
+        for name, memo in sorted(_REGISTRY.items())
+    }
+
+
+def clear_all_memos() -> None:
+    """Drop every entry and stat (test isolation; never needed for
+    correctness — stale entries cannot exist, keys are structural)."""
+    for memo in _REGISTRY.values():
+        memo.clear()
+
+
+def topology_key(topology) -> Tuple[Tuple[str, str], ...]:
+    """The structural identity of a topology: its sorted edge tuple.
+
+    Cached on the instance — building it is O(E log E) and every
+    memoized call needs it.
+    """
+    key = getattr(topology, "_structural_key", None)
+    if key is None:
+        key = tuple(topology.edges())
+        topology._structural_key = key
+    return key
+
+
+def hypergraph_key(hypergraph) -> Tuple:
+    """The structural identity of a hypergraph: sorted (name, vertices).
+
+    :class:`~repro.hypergraph.Hypergraph` is deliberately unhashable
+    (edge *data* lives elsewhere), so memo keys use this explicit
+    structural projection.  Vertices sort by ``repr`` to tolerate mixed
+    vertex types; ``Hypergraph`` has ``__slots__``, so unlike
+    :func:`topology_key` the key cannot be cached on the instance —
+    fine, the grids only build small hypergraphs.
+    """
+    return tuple(
+        (name, tuple(sorted(vs, key=repr)))
+        for name, vs in sorted(hypergraph.edges(), key=lambda kv: kv[0])
+    )

@@ -34,6 +34,7 @@ from ..obs.trace import Tracer, activate, normalize as _normalize_tracer
 from ..protocols.faq_protocol import (
     ENGINES,
     FAQProtocolReport,
+    compile_plan,
     run_distributed_faq,
     validate_engine,
 )
@@ -214,8 +215,29 @@ class Planner:
         except ValueError:
             return solve_naive(self.query, solver=self.solver)
 
-    def execute(self, max_rounds: int = 2_000_000) -> ExecutionReport:
-        """Run the distributed protocol and cross-check the answer."""
+    def compile_protocol_plan(self):
+        """The :class:`~repro.protocols.faq_protocol.ProtocolPlan`
+        :meth:`execute` would compile — exposed so sweep runners can
+        compile once per (instance, backend, solver) and pass the plan
+        back via ``execute(plan=...)``.  The plan is engine-neutral:
+        both engines execute the same compiled plan."""
+        return compile_plan(
+            self.query,
+            self.topology,
+            self.assignment,
+            self.output_player,
+            solver=self.solver,
+        )
+
+    def execute(
+        self, max_rounds: int = 2_000_000, plan=None
+    ) -> ExecutionReport:
+        """Run the distributed protocol and cross-check the answer.
+
+        ``plan`` optionally supplies a precompiled protocol plan (see
+        :meth:`compile_protocol_plan`); it must have been compiled for
+        exactly this planner's (query, topology, assignment, solver).
+        """
         tracer = self.tracer
         # ``activate`` publishes the tracer to module-level consumers
         # (e.g. the intern phase timer inside the plan executor) that sit
@@ -231,6 +253,7 @@ class Planner:
                 engine=self.engine,
                 solver=self.solver,
                 tracer=tracer,
+                plan=plan,
             )
             protocol_wall_time = time.perf_counter() - start
             start = time.perf_counter()

@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..core.memo import LRUMemo, hypergraph_key
 from ..hypergraph import Hypergraph, decompose, is_acyclic
 from .ghd import GHD
 from .gyo_ghd import gyo_ghd
@@ -25,6 +26,13 @@ from .md_ghd import md_ghd
 
 #: Edge-count cap above which ``exact=True`` falls back to the greedy bound.
 EXACT_SEARCH_LIMIT = 8
+
+#: Structural memo over (H, require_in_root).  The search re-roots and
+#: flattens per candidate, which dominates plan compilation for small
+#: grids; the result depends only on structure.  GHD carries mutation
+#: helpers, so every access returns :meth:`GHD.copy` of the stored
+#: master — callers can mutate freely.
+_BEST_GHD_MEMO = LRUMemo("decomposition.best_ghd", maxsize=1024)
 
 
 def best_gyo_ghd(hypergraph: Hypergraph, require_in_root=frozenset()) -> GHD:
@@ -48,6 +56,14 @@ def best_gyo_ghd(hypergraph: Hypergraph, require_in_root=frozenset()) -> GHD:
             in the root bag (the genuinely unsupported G.5 case).
     """
     require = frozenset(require_in_root)
+    key = (hypergraph_key(hypergraph), tuple(sorted(require, key=repr)))
+    master = _BEST_GHD_MEMO.get_or_compute(
+        key, lambda: _best_gyo_ghd_uncached(hypergraph, require)
+    )
+    return master.copy()
+
+
+def _best_gyo_ghd_uncached(hypergraph: Hypergraph, require: frozenset) -> GHD:
     canonical = gyo_ghd(hypergraph)
     candidates = [md_ghd(canonical)]
     if is_acyclic(hypergraph) and hypergraph.is_connected():

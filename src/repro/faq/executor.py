@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..obs.counters import COUNTERS
 from ..obs.trace import active_tracer
 from ..semiring import Factor, Semiring
@@ -126,18 +127,10 @@ def _unique_inverse(concat: np.ndarray):
     unioned are each already sorted runs) plus mask arithmetic; the
     inverse doubles as the per-dictionary remap once split back into the
     original segments, which is what lets interning skip a
-    ``searchsorted`` per dictionary.
+    ``searchsorted`` per dictionary.  Runs in the active kernel tier
+    (:mod:`repro.kernels`).
     """
-    if len(concat) == 0:
-        return concat, np.empty(0, dtype=np.int64)
-    order = np.argsort(concat, kind="stable")
-    ordered = concat[order]
-    change = ordered[1:] != ordered[:-1]
-    group = np.concatenate(([0], np.cumsum(change)))
-    inverse = np.empty(len(concat), dtype=np.int64)
-    inverse[order] = group
-    uniq = ordered[np.concatenate(([True], change))]
-    return uniq, inverse
+    return kernels.encode_unique(concat)
 
 
 def _superset_pool(dicts: Sequence[list], arrays: Sequence[Optional[np.ndarray]]):
@@ -366,7 +359,7 @@ def _grouped_reduce_columns(
     if _int_values_exceed(profile, values, _INT64_MAX // n):
         return None
     order, starts = _sort_groups(columns, cards, n)
-    reduced = profile.add.reduceat(values[order], starts)
+    reduced = kernels.grouped_reduce(values, order, starts, profile.add)
     representatives = order[starts]
     out_codes = [c[representatives] for c in columns]
     zero = profile.is_zero_mask(reduced)

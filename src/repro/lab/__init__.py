@@ -6,6 +6,13 @@ on-disk result cache, and persist Table-1-style results as JSON bench
 artifacts.  CLI: ``python -m repro.lab run smoke --jobs 2``.
 """
 
+from .batch import (
+    BatchParityError,
+    plan_groups,
+    run_suite_batched,
+    stack_queries,
+    unstack_answers,
+)
 from .cache import ResultCache
 from .generate import fuzz_suite, generate_scenarios, sample_scenario
 from .report import (
@@ -75,6 +82,11 @@ __all__ = [
     "ResultCache",
     "SuiteRun",
     "run_suite",
+    "run_suite_batched",
+    "BatchParityError",
+    "plan_groups",
+    "stack_queries",
+    "unstack_answers",
     "execute_scenario",
     "build_query",
     "build_topology",

@@ -56,6 +56,7 @@ import sys
 from typing import List, Optional
 
 from ..faq import SOLVERS
+from ..kernels import KERNEL_TIERS
 from ..obs.logging import LOG_LEVELS, configure as configure_logging, get_logger
 from ..protocols.faq_protocol import ENGINES
 from .cache import ResultCache
@@ -68,6 +69,7 @@ from .report import (
     format_certification_table,
     format_cost_table,
     format_results_table,
+    kernels_pairs,
     render_csv,
     render_markdown,
     solver_pairs,
@@ -76,7 +78,13 @@ from .report import (
 from .results import aggregate
 from .runner import run_suite
 from .spec import SuiteSpec
-from .suites import get_suite, suite_names, with_engines, with_solvers
+from .suites import (
+    get_suite,
+    suite_names,
+    with_engines,
+    with_kernels,
+    with_solvers,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -136,6 +144,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--solver", choices=list(SOLVERS) + ["both"], default=None,
         help="override the FAQ solver for every scenario "
         "('both' pairs each scenario across solvers)",
+    )
+    run_p.add_argument(
+        "--kernels", choices=list(KERNEL_TIERS) + ["both"], default=None,
+        help="override the hot-kernel tier for every scenario "
+        "('both' pairs each scenario across the numpy and jit tiers; "
+        "jit falls back to numpy when numba is not installed)",
+    )
+    run_p.add_argument(
+        "--batch", action="store_true",
+        help="group structurally identical scenarios: shared "
+        "materialization and memos, one stacked tensor solve per group "
+        "cross-checked against every member (adds a volatile "
+        "'throughput' block to BENCH_lab.json; serial only)",
     )
     run_p.add_argument(
         "--timings", action="store_true",
@@ -224,17 +245,19 @@ def _cmd_parity(args: argparse.Namespace) -> int:
     e_pairs = engine_pairs(records)
     s_pairs = solver_pairs(records)
     b_pairs = backend_pairs(records)
-    if not e_pairs and not s_pairs and not b_pairs:
+    k_pairs = kernels_pairs(records)
+    if not e_pairs and not s_pairs and not b_pairs and not k_pairs:
         print(
-            "no engine, solver or backend pairs in artifact (run a suite "
-            "with --engine both / --solver both, or the *-compare/"
-            "*-smoke/fuzz suites)"
+            "no engine, solver, backend or kernels pairs in artifact (run "
+            "a suite with --engine both / --solver both / --kernels both, "
+            "or the *-compare/*-smoke/fuzz suites)"
         )
         return 1
     failures = all_parity_failures(records)
     print(
         f"{len(e_pairs)} engine pair(s), {len(s_pairs)} solver pair(s), "
-        f"{len(b_pairs)} backend pair(s) checked"
+        f"{len(b_pairs)} backend pair(s), {len(k_pairs)} kernels pair(s) "
+        "checked"
     )
     if failures:
         print(f"PARITY FAILURES ({len(failures)}):", *failures, sep="\n  ")
@@ -274,8 +297,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         print()
 
     # One base prediction per plane-stripped spec: the engine/solver/
-    # backend planes are accounting-identical (the parity gates enforce
-    # it), so 8 planes of a scenario share one skeleton price.
+    # backend/kernels planes are accounting-identical (the parity gates
+    # enforce it), so 16 planes of a scenario share one skeleton price.
     cache = {}
     mismatches: List[str] = []
     matched = 0
@@ -290,7 +313,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             {
                 k: v
                 for k, v in spec.to_json_dict().items()
-                if k not in ("engine", "solver", "backend")
+                if k not in ("engine", "solver", "backend", "kernels")
             },
             sort_keys=True,
         )
@@ -454,16 +477,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             scenarios=tuple(s.with_(solver=args.solver) for s in suite),
             description=suite.description,
         )
+    if args.kernels == "both":
+        suite = with_kernels(
+            suite, suite.name, suite.description or suite.name
+        )
+    elif args.kernels is not None:
+        suite = SuiteSpec(
+            name=suite.name,
+            scenarios=tuple(s.with_(kernels=args.kernels) for s in suite),
+            description=suite.description,
+        )
     cache: Optional[ResultCache] = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.path.join(args.out, ".lab_cache")
         cache = ResultCache(cache_dir)
     logger = get_logger("lab")
     log = None if args.quiet else logger.info
-    run = run_suite(
-        suite, jobs=args.jobs, cache=cache, force=args.force, log=log,
-        trace=args.trace,
-    )
+    if args.batch:
+        if args.jobs != 1:
+            print("--batch runs serially; drop --jobs")
+            return 2
+        from .batch import run_suite_batched
+
+        run = run_suite_batched(
+            suite, cache=cache, force=args.force, log=log, trace=args.trace,
+        )
+    else:
+        run = run_suite(
+            suite, jobs=args.jobs, cache=cache, force=args.force, log=log,
+            trace=args.trace,
+        )
 
     # The artifact payload (records + certification) is computed once
     # and reused for the console output, the written artifact and the
@@ -515,6 +558,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{run.executed} executed on {run.jobs} job(s) "
         f"in {run.wall_time:.2f}s"
     )
+    if run.batch is not None:
+        batch = run.batch
+        sps = batch.get("scenarios_per_sec")
+        base = batch.get("baseline") or {}
+        speedup = batch.get("speedup")
+        print(
+            f"batch: {batch['multi_groups']} group(s) covering "
+            f"{batch['grouped_scenarios']} scenario(s) (largest "
+            f"{batch['largest_group']}), {batch['stacked_checks']} "
+            f"stacked solve(s) verified; "
+            + (f"{sps:.1f} scenarios/sec" if sps else "no fresh scenarios")
+            + (
+                f" vs {base['scenarios_per_sec']:.1f} cold "
+                f"({speedup:.1f}x)"
+                if base.get("scenarios_per_sec") and speedup
+                else ""
+            )
+        )
 
     artifact = write_artifact(run, args.out, payload=payload)
     print(f"wrote {artifact}")

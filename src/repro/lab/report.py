@@ -22,7 +22,7 @@ from ..core.analysis import format_table
 from ..costmodel.model import COST_METRIC_NAMES
 from ..obs.counters import DETERMINISTIC_COUNTERS
 from .results import FamilyAggregate, ScenarioResult, aggregate
-from .runner import SuiteRun
+from .runner import SuiteRun, materialization_timings
 
 #: The bench artifact the CI job uploads.
 ARTIFACT_FILENAME = "BENCH_lab.json"
@@ -35,7 +35,11 @@ ARTIFACT_FILENAME = "BENCH_lab.json"
 #: v4: scenario records carry ``observability`` counter blocks and the
 #: payload gains a top-level ``observability`` block (deterministic
 #: kernel / engine / dictionary-pool counter aggregation).
-ARTIFACT_SCHEMA = "repro.lab/bench.v4"
+#: v5: specs carry the ``kernels`` axis (numpy/jit hot-kernel tier), the
+#: counter whitelist grows the kernel/batch dispatch tags, and the
+#: payload gains a top-level ``throughput`` block (scenarios/sec for the
+#: per-scenario and batched execution paths).
+ARTIFACT_SCHEMA = "repro.lab/bench.v5"
 
 
 def format_results_table(results: Sequence[ScenarioResult]) -> str:
@@ -166,7 +170,8 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
     writer.writerow(
         [
             "family", "query", "topology", "backend", "assignment",
-            "engine", "solver", "semiring", "n", "seed", "players", "d",
+            "engine", "solver", "kernels", "semiring", "n", "seed",
+            "players", "d",
             "r", "rows", "measured_rounds", "total_bits",
             "link_utilization", "upper_formula", "lower_formula",
             "gap", "gap_budget", "lower_certified", "formula_certified",
@@ -185,7 +190,8 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
             [
                 r.spec.family, r.query_name, r.topology_name,
                 r.spec.backend or "native", r.spec.assignment,
-                r.spec.engine, r.spec.solver, r.spec.semiring, r.spec.n,
+                r.spec.engine, r.spec.solver, r.spec.kernels,
+                r.spec.semiring, r.spec.n,
                 r.spec.seed, r.players, r.d, r.r, r.rows,
                 r.measured_rounds, r.total_bits, r.link_utilization,
                 r.upper_formula, r.lower_formula,
@@ -204,7 +210,12 @@ def render_csv(results: Sequence[ScenarioResult]) -> str:
 
 #: Per-axis default value for records predating the axis.  ``backend``
 #: is an axis too (``None`` = the query's native storage).
-_AXIS_DEFAULTS = {"engine": "generator", "solver": "operator", "backend": None}
+_AXIS_DEFAULTS = {
+    "engine": "generator",
+    "solver": "operator",
+    "backend": None,
+    "kernels": "numpy",
+}
 
 
 def _pair_key(spec_record: Dict[str, Any], axis: str = "engine") -> str:
@@ -255,8 +266,15 @@ def backend_pairs(
     return axis_pairs(records, "backend")
 
 
-#: The three differential axes every fuzzed scenario is swept across.
-PARITY_AXES = ("engine", "solver", "backend")
+def kernels_pairs(
+    records: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Dict[str, Any]]]:
+    """Records paired across the kernel-tier axis."""
+    return axis_pairs(records, "kernels")
+
+
+#: The four differential axes every fuzzed scenario is swept across.
+PARITY_AXES = ("engine", "solver", "backend", "kernels")
 
 
 def all_parity_failures(records: Sequence[Dict[str, Any]]) -> List[str]:
@@ -561,6 +579,10 @@ def timings_payload(run: SuiteRun) -> Dict[str, Any]:
         "headline": engine_headline,
         "solver_pairs": solver_pairs_,
         "solver_headline": solver_headline,
+        # What the plane-shared materialization memo avoided rebuilding
+        # (and re-pickling to workers): hits/misses plus estimated
+        # seconds saved at the mean observed build time.
+        "materialization": materialization_timings(),
     }
 
 
@@ -636,6 +658,11 @@ def artifact_payload(run: SuiteRun, timings: bool = False) -> Dict[str, Any]:
         "cost_model": cost_model_payload(records),
         "observability": observability_payload(records),
     }
+    if run.batch is not None:
+        # Volatile like ``timings`` (wall-clock rates), but written by
+        # every ``--batch`` run: the throughput-regression CI job diffs
+        # ``scenarios_per_sec`` against the committed artifact.
+        payload["throughput"] = dict(run.batch)
     if timings:
         payload["timings"] = timings_payload(run)
     return payload

@@ -35,7 +35,7 @@ from .spec import ScenarioSpec
 #: predictions with per-run exact-match verdicts).
 #: v5: records carry the ``observability`` block (deterministic kernel /
 #: engine / dictionary-pool counters aggregated per scenario).
-RESULT_SCHEMA = "repro.lab/result.v5"
+RESULT_SCHEMA = "repro.lab/result.v6"
 
 
 @dataclass

@@ -22,13 +22,18 @@ round simulator — exactly like the hand-written benchmarks did.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import kernels
+from ..core.memo import LRUMemo, clear_all_memos, memo_stats
 from ..core.planner import Planner, assign_single_player, worst_case_assignment
 from ..faq import FAQQuery, bcq
 from ..hypergraph import Hypergraph
@@ -308,7 +313,35 @@ def _gap_budget(family: str, d: float, r: float) -> float:
 # ---------------------------------------------------------------------------
 
 
+#: Certification verdicts shared across axis planes.  The block is a
+#: pure function of the plane-stripped identity plus the measured
+#: accounting (rounds, bits) — and the axis planes of one identity are
+#: per-round accounting-identical by the parity/cost/trace gates, so
+#: the two-party cut transcript extraction runs once per identity.
+#: Fires after the per-scenario counter window closes, so sharing is
+#: trivially counter-neutral.
+_CERTIFY_MEMO = LRUMemo("runner.certification", maxsize=1024)
+
+
 def certify_bounds(
+    spec: ScenarioSpec,
+    planner: Planner,
+    report,
+) -> Dict[str, object]:
+    """Memoized wrapper over :func:`_certify_bounds_uncached` — see the
+    :data:`_CERTIFY_MEMO` note; callers get a fresh dict per call."""
+    key = (
+        _prediction_key(spec),
+        int(report.measured_rounds),
+        int(report.total_bits),
+    )
+    block = _CERTIFY_MEMO.get_or_compute(
+        key, lambda: _certify_bounds_uncached(spec, planner, report)
+    )
+    return dict(block)
+
+
+def _certify_bounds_uncached(
     spec: ScenarioSpec,
     planner: Planner,
     report,
@@ -384,6 +417,113 @@ def certify_bounds(
     }
 
 
+#: Cost predictions shared across axis planes.  Same precedent as the
+#: CLI's ``predict`` dedup: the engine/solver/backend/kernels planes of
+#: one identity are accounting-identical (the parity gates enforce it),
+#: so the four predicted metrics are a function of the plane-stripped
+#: spec alone.  Runs outside the per-scenario counter window, and the
+#: memoized path fires no deterministic counters anyway.
+_PREDICTION_MEMO = LRUMemo("costmodel.predicted_metrics", maxsize=4096)
+
+#: Spec axes that never change the predicted (or measured) accounting.
+_ACCOUNTING_NEUTRAL_AXES = ("engine", "solver", "backend", "kernels")
+
+
+@lru_cache(maxsize=8192)
+def _prediction_key(spec: ScenarioSpec) -> str:
+    """The plane-stripped identity a cost prediction is a function of.
+
+    Cached: specs are frozen and hashable, and every structural memo
+    lookup (materialization, prediction, certification) rebuilds this
+    JSON key otherwise.
+    """
+    payload = spec.to_json_dict()
+    for axis in _ACCOUNTING_NEUTRAL_AXES:
+        payload.pop(axis, None)
+    return json.dumps(payload, sort_keys=True)
+
+
+#: Materialized (query, topology, assignment) triples shared across axis
+#: planes.  The four accounting-neutral axes never change what gets
+#: built, and execution never mutates the built objects (the Planner
+#: copies the query on backend conversion), so the 16 planes of one
+#: identity materialize once.  Module-level on purpose: inside a
+#: ProcessPool worker the memo persists across that worker's scenarios,
+#: which is what makes shipping plain specs (instead of pickled
+#: materialized objects) cheap.
+#: Compiled protocol plans shared across a scenario's *engine* (and
+#: kernel-tier) planes.  A plan is a pure function of (instance,
+#: backend, solver): compilation fires no counters and both engines
+#: execute the same plan object read-only (like the materialized
+#: query/topology above, the plan is shared, never copied — execution
+#: must not mutate it, which the byte-identity gates enforce).
+_PLAN_MEMO = LRUMemo("runner.protocol_plan", maxsize=256)
+
+_MATERIALIZE_MEMO = LRUMemo("runner.materialized", maxsize=128)
+
+#: Volatile wall-clock ledger for the memo above (``--timings`` only).
+_MATERIALIZE_CLOCK = {"build_seconds": 0.0, "builds": 0}
+
+
+def materialize_scenario(
+    spec: ScenarioSpec,
+) -> Tuple[BuiltQuery, Topology, Optional[Dict[str, str]]]:
+    """The spec's (built query, topology, assignment), memoized per
+    plane-stripped identity.  Callers must treat the returned objects as
+    immutable — they are shared across the scenario's axis planes."""
+
+    def build() -> Tuple[BuiltQuery, Topology, Optional[Dict[str, str]]]:
+        start = time.perf_counter()
+        built = build_query(spec)
+        topology = build_topology(spec)
+        assignment = build_assignment(spec, built, topology)
+        _MATERIALIZE_CLOCK["build_seconds"] += time.perf_counter() - start
+        _MATERIALIZE_CLOCK["builds"] += 1
+        return built, topology, assignment
+
+    return _MATERIALIZE_MEMO.get_or_compute(_prediction_key(spec), build)
+
+
+#: Per-worker materialization ledgers, keyed by worker pid.  Each pool
+#: result ships the worker's *cumulative* snapshot; last-wins per pid,
+#: summed at report time.  Cleared at every :func:`run_suite` entry.
+_WORKER_MATERIALIZATION: Dict[int, Dict[str, float]] = {}
+
+
+def _materialization_snapshot() -> Dict[str, float]:
+    """This process's cumulative materialization ledger (picklable)."""
+    stats = memo_stats().get("runner.materialized", {})
+    return {
+        "hits": float(stats.get("hits", 0)),
+        "misses": float(stats.get("misses", 0)),
+        "build_seconds": _MATERIALIZE_CLOCK["build_seconds"],
+        "builds": float(_MATERIALIZE_CLOCK["builds"]),
+    }
+
+
+def materialization_timings() -> Dict[str, object]:
+    """Volatile stats for the materialization memo (``--timings`` block).
+
+    ``est_saved_seconds`` prices each memo hit at the mean observed
+    build time — the serialization/rebuild work the memo avoided.  Under
+    ``--jobs N`` each worker ships its cumulative ledger back with every
+    result; this merges the coordinator's ledger with the workers'.
+    """
+    snap = _materialization_snapshot()
+    merged = {k: snap[k] for k in ("hits", "misses", "build_seconds", "builds")}
+    for worker in _WORKER_MATERIALIZATION.values():
+        for field in merged:
+            merged[field] += worker.get(field, 0.0)
+    mean_build = merged["build_seconds"] / max(1.0, merged["builds"])
+    return {
+        "hits": int(merged["hits"]),
+        "misses": int(merged["misses"]),
+        "size": int(memo_stats().get("runner.materialized", {}).get("size", 0)),
+        "build_seconds": merged["build_seconds"],
+        "est_saved_seconds": merged["hits"] * mean_build,
+    }
+
+
 def certify_costs(
     spec: ScenarioSpec,
     planner: Planner,
@@ -425,14 +565,18 @@ def certify_costs(
     if not block["covered"]:
         return block
     try:
-        prediction = predict_costs(
-            spec, plan=report.protocol.plan, nodes=planner.topology.nodes
-        )
+        predicted = dict(_PREDICTION_MEMO.get_or_compute(
+            _prediction_key(spec),
+            lambda: predict_costs(
+                spec, plan=report.protocol.plan,
+                nodes=planner.topology.nodes,
+            ).metrics(),
+        ))
     except CostModelError as exc:
         block["exact_match"] = False
         block["error"] = str(exc)
         return block
-    block["predicted"] = prediction.metrics()
+    block["predicted"] = predicted
     block["exact_match"] = block["predicted"] == measured
     return block
 
@@ -503,15 +647,23 @@ def _execute_traced(
     spec: ScenarioSpec, tracer: Optional[Tracer]
 ) -> Tuple[ScenarioResult, List[TraceEvent]]:
     start = time.perf_counter()
-    built = build_query(spec)
-    topology = build_topology(spec)
-    assignment = build_assignment(spec, built, topology)
+    built, topology, assignment = materialize_scenario(spec)
     counters_before = COUNTERS.snapshot()
-    planner = Planner(
-        built.query, topology, assignment=assignment, backend=spec.backend,
-        engine=spec.engine, solver=spec.solver, tracer=tracer,
-    )
-    report = planner.execute(max_rounds=spec.max_rounds)
+    # The kernel tier is scoped to exactly the counter window: planner
+    # construction + execution is where every hot kernel dispatch fires,
+    # so the ``kernels.numpy``/``kernels.jit`` deltas are a pure
+    # function of (spec, installed numba).
+    with kernels.use_tier(spec.kernels):
+        planner = Planner(
+            built.query, topology, assignment=assignment,
+            backend=spec.backend, engine=spec.engine, solver=spec.solver,
+            tracer=tracer,
+        )
+        plan = _PLAN_MEMO.get_or_compute(
+            (_prediction_key(spec), spec.backend, spec.solver),
+            planner.compile_protocol_plan,
+        )
+        report = planner.execute(max_rounds=spec.max_rounds, plan=plan)
     observability = deterministic_view(
         counter_delta(counters_before, COUNTERS.snapshot())
     )
@@ -601,6 +753,16 @@ def _execute_with_context(
     return result
 
 
+def _execute_pooled(
+    spec: ScenarioSpec, trace: bool = False
+) -> Tuple[ScenarioResult, int, Dict[str, float]]:
+    """Pool entry point: the result plus this worker's cumulative
+    materialization ledger, so the coordinator's ``--timings`` block can
+    account for builds the workers' memos saved."""
+    result = _execute_with_context(spec, trace)
+    return result, os.getpid(), _materialization_snapshot()
+
+
 @dataclass
 class SuiteRun:
     """One :func:`run_suite` invocation.
@@ -613,6 +775,10 @@ class SuiteRun:
         executed: Unique scenarios executed fresh this run.
         jobs: Worker processes used (1 = in-process serial).
         wall_time: Total coordinator wall time in seconds.
+        batch: Grouping/throughput stats when the run came from the
+            batched runner (:func:`repro.lab.batch.run_suite_batched`);
+            ``None`` for ordinary runs.  Volatile (contains wall-clock
+            rates) — never part of the deterministic scenario records.
     """
 
     suite: SuiteSpec
@@ -621,6 +787,7 @@ class SuiteRun:
     executed: int
     jobs: int
     wall_time: float
+    batch: Optional[Dict[str, Any]] = None
 
     @property
     def hit_rate(self) -> float:
@@ -675,6 +842,12 @@ def run_suite(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     emit = log or (lambda message: None)
+    # Every suite run starts with a cold structural memo plane: sharing
+    # happens *across the axis planes within this run* (where all the
+    # repetition is), and a run's behaviour never depends on what the
+    # process executed before it.
+    clear_all_memos()
+    _WORKER_MATERIALIZATION.clear()
     start = time.perf_counter()
 
     hashes = [spec.content_hash() for spec in suite.scenarios]
@@ -724,14 +897,16 @@ def run_suite(
                 max_workers=jobs, initializer=_worker_init, initargs=(list(sys.path),)
             ) as pool:
                 futures = {
-                    pool.submit(_execute_with_context, spec, trace): (spec, key)
+                    pool.submit(_execute_pooled, spec, trace): (spec, key)
                     for spec, key in zip(pending, pending_hashes)
                 }
                 failure: Optional[BaseException] = None
                 for future in as_completed(futures):
                     spec, key = futures[future]
                     try:
-                        finish(spec, key, future.result())
+                        result, worker_pid, ledger = future.result()
+                        _WORKER_MATERIALIZATION[worker_pid] = ledger
+                        finish(spec, key, result)
                     except BaseException as exc:  # noqa: BLE001 — re-raised
                         failure = failure or exc
                 if failure is not None:

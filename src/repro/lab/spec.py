@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..faq import SOLVERS
+from ..kernels import KERNEL_TIERS
 from ..protocols.faq_protocol import ENGINES
 from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 
@@ -34,7 +35,9 @@ from ..semiring import BACKENDS, BUILTIN_SEMIRINGS
 #: v5: the fuzzed scenario plane — forest/hard-forest query families,
 #: bound-certification fields on every result (certified lower bound,
 #: cut-accounting transcript, violation flags).
-SPEC_VERSION = 5
+#: v6: scenarios carry a kernel-tier axis (``numpy`` vs ``jit``) and the
+#: deterministic counter whitelist grows the kernel/batch dispatch tags.
+SPEC_VERSION = 6
 
 #: Assignment policies the runner implements.
 ASSIGNMENTS = ("round-robin", "single", "worst-case")
@@ -89,6 +92,11 @@ class ScenarioSpec:
         solver: FAQ solver strategy (``"operator"`` or ``"compiled"``)
             used for the reference solve and all free internal
             computation — the solver-parity twin of the engine axis.
+        kernels: Kernel tier (``"numpy"`` or ``"jit"``) the hot array
+            kernels dispatch through (:mod:`repro.kernels`) — the fourth
+            parity axis.  ``"jit"`` resolves to the NumPy tier when
+            numba is not installed; the dispatch counters record which
+            tier actually ran.
     """
 
     family: str
@@ -105,6 +113,7 @@ class ScenarioSpec:
     max_rounds: int = 2_000_000
     engine: str = "generator"
     solver: str = "operator"
+    kernels: str = "numpy"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "query_params", _freeze_params(self.query_params))
@@ -137,6 +146,10 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown solver {self.solver!r}; known: {SOLVERS}"
             )
+        if self.kernels not in KERNEL_TIERS:
+            raise ValueError(
+                f"unknown kernel tier {self.kernels!r}; known: {KERNEL_TIERS}"
+            )
 
     # ------------------------------------------------------------------
     # Identity
@@ -159,6 +172,7 @@ class ScenarioSpec:
             "max_rounds": self.max_rounds,
             "engine": self.engine,
             "solver": self.solver,
+            "kernels": self.kernels,
         }
 
     @classmethod
@@ -181,6 +195,7 @@ class ScenarioSpec:
             max_rounds=data.get("max_rounds", 2_000_000),
             engine=data.get("engine", "generator"),
             solver=data.get("solver", "operator"),
+            kernels=data.get("kernels", "numpy"),
         )
 
     def content_hash(self) -> str:
@@ -216,7 +231,7 @@ class ScenarioSpec:
         return (
             f"{self.family}:{self.query}({qp})@{self.topology}({tp})"
             f"/N={self.n}/{self.semiring}/{backend}/{self.assignment}"
-            f"/{self.engine}/{self.solver}/s{self.seed}"
+            f"/{self.engine}/{self.solver}/{self.kernels}/s{self.seed}"
         )
 
     def with_(self, **changes: Any) -> "ScenarioSpec":

@@ -29,6 +29,7 @@ import inspect
 from typing import Callable, Dict, List, Optional
 
 from ..faq import SOLVERS
+from ..kernels import KERNEL_TIERS
 from ..protocols.faq_protocol import ENGINES
 from ..semiring import BACKENDS
 from .spec import ScenarioSpec, SuiteSpec, expand_grid
@@ -487,29 +488,59 @@ def with_backends(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
     return SuiteSpec(name=name, scenarios=scenarios, description=description)
 
 
-def with_axes(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
-    """Sweep every scenario across the full engine x solver x backend
-    grid (8 planes per scenario).
+def with_kernels(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Pair every scenario of ``suite`` across both kernel tiers.
 
-    Each consecutive block of 8 shares one scenario identity; the
+    The fourth axis twin: consecutive scenarios differ only in
+    ``kernels`` (NumPy vs JIT hot-kernel dispatch) and must agree on
+    answer digest, round count and total bits.  Without numba installed
+    the ``jit`` tier executes the NumPy kernels, so the pair is still
+    meaningful as a dispatch-layer no-op check there and a real
+    differential gate where numba is present.
+    """
+    scenarios = tuple(
+        spec.with_(kernels=kernels)
+        for spec in suite.scenarios
+        for kernels in KERNEL_TIERS
+    )
+    return SuiteSpec(name=name, scenarios=scenarios, description=description)
+
+
+def with_axes(suite: SuiteSpec, name: str, description: str) -> SuiteSpec:
+    """Sweep every scenario across the full engine x solver x backend x
+    kernels grid (16 planes per scenario).
+
+    Each consecutive block of 16 shares one scenario identity; the
     ``parity`` command and :func:`repro.lab.report.all_parity_failures`
     then assert the byte-identical contract pairwise along every axis.
     """
     suite = with_engines(suite, name, description)
     suite = with_solvers(suite, name, description)
-    return with_backends(suite, name, description)
+    suite = with_backends(suite, name, description)
+    return with_kernels(suite, name, description)
 
 
 def _fuzz_suite(seed: int = DEFAULT_SEED) -> SuiteSpec:
     from .generate import fuzz_suite
 
-    return fuzz_suite(master_seed=seed, count=50, name="fuzz")
+    # 25 identities x 16 axis planes = 400 certified runs.
+    return fuzz_suite(master_seed=seed, count=25, name="fuzz")
 
 
 def _fuzz_smoke_suite(seed: int = DEFAULT_SEED) -> SuiteSpec:
     from .generate import fuzz_suite
 
     return fuzz_suite(master_seed=seed, count=6, name="fuzz-smoke")
+
+
+def _kernels_smoke_suite() -> SuiteSpec:
+    return with_kernels(
+        _smoke_suite(),
+        "kernels-smoke",
+        "the CI smoke cross-section on both kernel tiers (the "
+        "kernel-dispatch parity gate; the jit tier resolves to numpy "
+        "when numba is absent)",
+    )
 
 
 register_suite("smoke", _smoke_suite)
@@ -525,5 +556,6 @@ register_suite("engine-smoke", _engine_smoke_suite)
 register_suite("solver-scaling", _solver_scaling_suite)
 register_suite("solver-compare", _solver_compare_suite)
 register_suite("solver-smoke", _solver_smoke_suite)
+register_suite("kernels-smoke", _kernels_smoke_suite)
 register_suite("fuzz", _fuzz_suite)
 register_suite("fuzz-smoke", _fuzz_smoke_suite)

@@ -20,7 +20,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 from networkx.algorithms.approximation import steiner_tree as nx_steiner_tree
 
+from ..core.memo import LRUMemo, topology_key
 from .topology import Topology
+
+#: Packings and Δ-scans are pure functions of (graph, terminals, Δ,
+#: limit) and dominate plan construction; the lab reruns each identity
+#: once per axis plane, so these memos turn the per-plane recomputation
+#: into a lookup.  SteinerTree is frozen — only the lists are copied.
+_PACK_MEMO = LRUMemo("steiner.pack", maxsize=4096)
+_DELTA_MEMO = LRUMemo("steiner.optimize_delta", maxsize=2048)
 
 
 @dataclass(frozen=True)
@@ -189,6 +197,9 @@ def pack_steiner_trees(
 
     Repeatedly extracts a Steiner tree from the residual graph, keeping
     only trees whose terminal diameter is within ``max_diameter``.
+    Memoized on the structural inputs (edge set, terminals, Δ, limit) —
+    the packing is deterministic, so a hit returns a fresh list of the
+    same frozen trees.
 
     Args:
         topology: The communication graph.
@@ -199,6 +210,22 @@ def pack_steiner_trees(
     Returns:
         A (possibly empty) list of edge-disjoint Steiner trees.
     """
+    key = (
+        topology_key(topology), tuple(sorted(set(terminals))),
+        max_diameter, limit,
+    )
+    return list(_PACK_MEMO.get_or_compute(
+        key,
+        lambda: _pack_steiner_trees(topology, terminals, max_diameter, limit),
+    ))
+
+
+def _pack_steiner_trees(
+    topology: Topology,
+    terminals: Sequence[str],
+    max_diameter: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> List[SteinerTree]:
     residual = topology.graph.copy()
     delta = max_diameter if max_diameter is not None else topology.num_nodes
     terminals = sorted(set(terminals))
@@ -264,6 +291,18 @@ def optimize_delta(
     Raises:
         ValueError: if no Steiner tree connects the terminals at all.
     """
+    key = (topology_key(topology), tuple(sorted(set(terminals))), total_words)
+    delta, trees, rounds = _DELTA_MEMO.get_or_compute(
+        key, lambda: _optimize_delta(topology, terminals, total_words)
+    )
+    return delta, list(trees), rounds
+
+
+def _optimize_delta(
+    topology: Topology,
+    terminals: Sequence[str],
+    total_words: int,
+) -> Tuple[int, List[SteinerTree], int]:
     lo = topology.diameter(among=sorted(set(terminals))) if len(set(terminals)) > 1 else 1
     lo = max(1, lo)
     hi = max(lo, topology.num_nodes)

@@ -547,6 +547,7 @@ def run_distributed_faq(
     engine: str = "generator",
     solver: str = "operator",
     tracer: Optional[Tracer] = None,
+    plan: Optional[ProtocolPlan] = None,
 ) -> FAQProtocolReport:
     """Compile and run the distributed FAQ protocol on the simulator.
 
@@ -568,6 +569,12 @@ def run_distributed_faq(
             the simulator emits per-round protocol events and this entry
             point records a ``plan_compile`` phase timer.  A disabled or
             absent tracer costs one attribute check per guard.
+        plan: optional precompiled :class:`ProtocolPlan` for exactly
+            this (query, topology, assignment, solver) — skips the
+            compile step (the ``plan_compile`` timer still fires, at
+            ~zero elapsed).  Compilation is deterministic and touches no
+            counters, so a reused plan is accounting-identical to a
+            fresh compile; callers must not mutate it.
 
     Returns:
         An :class:`FAQProtocolReport` with the answer factor and exact
@@ -576,10 +583,16 @@ def run_distributed_faq(
     validate_engine(engine)
     tracer = _normalize_tracer(tracer)
     compile_start = time.perf_counter()
-    plan = compile_plan(
-        query, topology, assignment, output_player, ghd, max_diameter,
-        solver=solver,
-    )
+    if plan is None:
+        plan = compile_plan(
+            query, topology, assignment, output_player, ghd, max_diameter,
+            solver=solver,
+        )
+    elif plan.solver != validate_solver(solver):
+        raise ValueError(
+            f"precompiled plan was built for solver={plan.solver!r}, "
+            f"not {solver!r}"
+        )
     if tracer is not None:
         tracer.phase_timer("plan_compile", time.perf_counter() - compile_start)
     sim = Simulator(topology, plan.capacity_bits, max_rounds, tracer=tracer)

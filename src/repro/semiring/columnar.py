@@ -40,6 +40,7 @@ from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels
 from .backend import (
     BACKEND_COLUMNAR,
     VectorProfile,
@@ -434,15 +435,14 @@ def _sort_groups(columns: Sequence[np.ndarray], cards: Sequence[int], n: int):
         return np.arange(n, dtype=np.int64), np.zeros(1, dtype=np.int64)
     key = _composite_key(columns, cards, n)
     if key is not None:
-        order = np.argsort(key)
-        sorted_key = key[order]
-        change = sorted_key[1:] != sorted_key[:-1]
-    else:
-        order = np.lexsort(tuple(reversed(columns)))
-        change = np.zeros(n - 1, dtype=bool)
-        for col in columns:
-            sorted_col = col[order]
-            change |= sorted_col[1:] != sorted_col[:-1]
+        # Composite-key fast path: one stable sort in the active kernel
+        # tier (:mod:`repro.kernels`).
+        return kernels.sort_groups_key(key)
+    order = np.lexsort(tuple(reversed(columns)))
+    change = np.zeros(n - 1, dtype=bool)
+    for col in columns:
+        sorted_col = col[order]
+        change |= sorted_col[1:] != sorted_col[:-1]
     starts = np.flatnonzero(np.concatenate(([True], change))).astype(np.int64)
     return order, starts
 
@@ -490,24 +490,14 @@ def _shared_key_pair(left: ColumnarFactor, right: ColumnarFactor, shared):
 def _match_indices(left_key: np.ndarray, right_key: np.ndarray):
     """Row-index pairs of the equi-join ``left_key = right_key``.
 
-    Sorts the right side and probes it with ``searchsorted``; match runs
-    are expanded with ``repeat``/``arange`` arithmetic.  Returns
+    Dispatches to the active kernel tier (:mod:`repro.kernels`): a
+    stable sort of the right side probed with ``searchsorted``, match
+    runs expanded with ``repeat``/``arange`` arithmetic.  Returns
     ``(left_idx, right_idx)`` such that ``left_key[left_idx[i]] ==
     right_key[right_idx[i]]`` enumerates every matching pair, grouped by
     left row in left order.
     """
-    order = np.argsort(right_key)
-    right_sorted = right_key[order]
-    lo = np.searchsorted(right_sorted, left_key, side="left")
-    hi = np.searchsorted(right_sorted, left_key, side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    left_idx = np.repeat(np.arange(len(left_key), dtype=np.int64), counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(counts) - counts, counts
-    )
-    right_idx = order[np.repeat(lo, counts) + within]
-    return left_idx, right_idx
+    return kernels.match_indices(left_key, right_key)
 
 
 def _empty_like(
@@ -780,7 +770,7 @@ def _grouped_reduce(
     columns = [factor.codes[i] for i in idx]
     cards = [len(factor.dictionaries[i]) for i in idx]
     order, starts = _sort_groups(columns, cards, n)
-    reduced = profile.add.reduceat(factor.values[order], starts)
+    reduced = kernels.grouped_reduce(factor.values, order, starts, profile.add)
     representatives = order[starts]
     out_codes = [c[representatives] for c in columns]
 

@@ -123,24 +123,27 @@ def test_with_backends_pairs_every_scenario():
         assert dict_spec.with_(backend=None) == col_spec.with_(backend=None)
 
 
-def test_with_axes_expands_to_eight_planes():
+def test_with_axes_expands_to_sixteen_planes():
     base = fuzz_suite(MASTER, count=2, axes=False)
     full = with_axes(base, "f", "d")
-    assert len(full) == 8 * len(base)
-    # Each block of 8 shares one scenario identity modulo the axes.
+    assert len(full) == 16 * len(base)
+    # Each block of 16 shares one scenario identity modulo the axes.
     for i in range(len(base)):
-        block = full.scenarios[8 * i: 8 * (i + 1)]
+        block = full.scenarios[16 * i: 16 * (i + 1)]
         identities = {
-            s.with_(engine="generator", solver="operator", backend=None)
+            s.with_(engine="generator", solver="operator", backend=None,
+                    kernels="numpy")
             for s in block
         }
         assert len(identities) == 1
-        assert len({(s.engine, s.solver, s.backend) for s in block}) == 8
+        assert len({
+            (s.engine, s.solver, s.backend, s.kernels) for s in block
+        }) == 16
 
 
 def test_fuzz_suites_registered_and_reseedable():
     smoke = get_suite("fuzz-smoke")
-    assert len(smoke) == 6 * 8
+    assert len(smoke) == 6 * 16
     reseeded = get_suite("fuzz-smoke", seed=MASTER)
     assert reseeded != smoke
     assert get_suite("fuzz-smoke", seed=MASTER) == reseeded
@@ -155,7 +158,7 @@ def test_fuzz_suites_registered_and_reseedable():
 
 @pytest.fixture(scope="module")
 def fuzz_run():
-    """One shared small differential fuzz run (3 scenarios x 8 planes)."""
+    """One shared small differential fuzz run (3 scenarios x 16 planes)."""
     return run_suite(fuzz_suite(MASTER, count=3, name="fuzz-test"))
 
 
@@ -304,7 +307,7 @@ def test_cli_fuzz_run_with_seed(tmp_path, capsys):
     assert "0 parity failure(s)" in captured
     payload = json.load(open(os.path.join(out, ARTIFACT_FILENAME)))
     assert payload["certification"]["bound_violations"] == []
-    assert payload["scenario_count"] == 16
+    assert payload["scenario_count"] == 32
     # The seed override reached the generator: specs carry child seeds
     # of 31337, not of the default master seed.
     expected = [s.to_json_dict() for s in fuzz_suite(31337, 2, "fuzz-tiny")]

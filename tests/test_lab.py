@@ -120,9 +120,9 @@ def test_spec_hash_pinned():
         family="pin", query="tree", topology="line", n=8, seed=1,
         query_params={"edges": 3}, topology_params={"n": 3},
     )
-    # SPEC_VERSION 5: the fuzzed scenario plane + certification fields.
+    # SPEC_VERSION 6: the kernel-tier axis + batch/kernel counters.
     assert spec.content_hash() == (
-        "b90c3ba747a30668865b24dbb3a65cc27d9c5867641079cacdd5a772d406b427"
+        "8209bbcef93c44a183f927dcd635898a72ec4bd4266b5eb6a56501fb90fece9d"
     )
 
 
@@ -380,7 +380,7 @@ def test_smoke_suite_covers_required_diversity():
 def test_artifact_payload_shape(tmp_path):
     run = run_suite(SuiteSpec("one", (tiny_spec(),)))
     payload = json.loads(artifact_bytes(run))
-    assert payload["schema"] == "repro.lab/bench.v4"
+    assert payload["schema"] == "repro.lab/bench.v5"
     assert payload["suite"] == "one"
     assert payload["scenario_count"] == 1
     assert payload["all_correct"] is True

@@ -401,6 +401,7 @@ def test_worker_capture_preserves_logs_and_warnings(monkeypatch):
     # onto the (picklable) result instead of dying with the worker's
     # stderr.
     import repro.lab.runner as runner_mod
+    from repro.core.memo import clear_all_memos
 
     real_build = runner_mod.build_query
 
@@ -410,6 +411,9 @@ def test_worker_capture_preserves_logs_and_warnings(monkeypatch):
         return real_build(spec)
 
     monkeypatch.setattr(runner_mod, "build_query", noisy_build)
+    # Materialization is memoized across a process; start cold so the
+    # noisy build actually runs.
+    clear_all_memos()
     result = _execute_with_context(golden_spec())
     assert any(
         "building hard-star" in line for line in result.captured_logs
