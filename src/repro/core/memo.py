@@ -32,6 +32,7 @@ so two structurally equal topologies share entries regardless of name.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Tuple
 
@@ -41,12 +42,17 @@ _MISSING = object()
 class LRUMemo:
     """A tiny process-wide LRU map: ``get_or_compute(key, thunk)``.
 
-    Not thread-safe by design — the engines are single-threaded per
-    process (lab parallelism is process-based, each worker owns its own
-    memo).
+    Thread-safe: the serving plane shares one process's memos across an
+    asyncio front-end and its executor threads, so lookup/insert/clear
+    hold a per-memo lock.  The thunk itself runs *outside* the lock —
+    memoized functions are pure, so two threads racing on a cold key at
+    worst compute the identical value twice (last insert wins); holding
+    the lock through an arbitrary thunk would instead serialize every
+    independent computation and invite lock-ordering deadlocks between
+    memos.
     """
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+    __slots__ = ("name", "maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, name: str, maxsize: int = 4096) -> None:
         self.name = name
@@ -54,26 +60,30 @@ class LRUMemo:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         _REGISTRY[name] = self
 
     def get_or_compute(self, key: Hashable, thunk: Callable[[], Any]) -> Any:
         data = self._data
-        value = data.get(key, _MISSING)
-        if value is not _MISSING:
-            self.hits += 1
-            data.move_to_end(key)
-            return value
-        self.misses += 1
+        with self._lock:
+            value = data.get(key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                data.move_to_end(key)
+                return value
+            self.misses += 1
         value = thunk()
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data[key] = value
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
         return value
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._data)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -269,7 +270,11 @@ class PlanCache:
 
     Per-process, like any compiled-code cache: lab workers each warm
     their own copy, and a grid sweep in one process compiles each
-    structure exactly once.
+    structure exactly once.  Thread-safe: the serving plane's async
+    front-end and its executor threads share this process's cache, so
+    lookup/store/clear hold a lock (plans themselves are immutable and
+    shared by reference — two threads racing on a cold key at worst
+    compile the identical plan twice, last put wins).
     """
 
     def __init__(self, maxsize: int = 512) -> None:
@@ -277,25 +282,29 @@ class PlanCache:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self._plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = PlanCacheStats()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get(self, key: Optional[str]) -> Optional[QueryPlan]:
         """Look up a plan, counting the hit/miss."""
         if key is None:
-            self.stats.uncacheable += 1
+            with self._lock:
+                self.stats.uncacheable += 1
             COUNTERS.increment("plan_cache.uncacheable")
             return None
         COUNTERS.increment("plan_cache.lookups")
-        plan = self._plans.get(key)
-        if plan is None:
-            self.stats.misses += 1
-            COUNTERS.increment("plan_cache.miss")
-            return None
-        self._plans.move_to_end(key)
-        self.stats.hits += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.stats.misses += 1
+                COUNTERS.increment("plan_cache.miss")
+                return None
+            self._plans.move_to_end(key)
+            self.stats.hits += 1
         COUNTERS.increment("plan_cache.hit")
         return plan
 
@@ -303,15 +312,17 @@ class PlanCache:
         """Store a plan (no-op for uncacheable keys), evicting LRU."""
         if key is None:
             return
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every plan and reset the counters."""
-        self._plans.clear()
-        self.stats = PlanCacheStats()
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
 
 
 #: The process-wide plan cache every ``solver="compiled"`` entry point uses.

@@ -173,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record + replay-verify the protocol event stream of every "
         "freshly-executed scenario (exit 1 on any replay mismatch)",
     )
+    run_p.add_argument(
+        "--shm", action="store_true",
+        help="with --jobs N: materialize each unique identity once and "
+        "publish its relations to shared memory; workers attach "
+        "zero-copy instead of rebuilding (results stay byte-identical)",
+    )
 
     parity_p = sub.add_parser(
         "parity", help="check engine parity in a BENCH_lab.json artifact",
@@ -497,15 +503,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.jobs != 1:
             print("--batch runs serially; drop --jobs")
             return 2
+        if args.shm:
+            print("--shm applies to pooled runs; drop --batch")
+            return 2
         from .batch import run_suite_batched
 
         run = run_suite_batched(
             suite, cache=cache, force=args.force, log=log, trace=args.trace,
         )
     else:
+        if args.shm and args.jobs == 1:
+            print("--shm needs --jobs N (N > 1)")
+            return 2
         run = run_suite(
             suite, jobs=args.jobs, cache=cache, force=args.force, log=log,
-            trace=args.trace,
+            trace=args.trace, shm=args.shm,
         )
 
     # The artifact payload (records + certification) is computed once

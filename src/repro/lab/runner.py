@@ -465,23 +465,63 @@ _MATERIALIZE_MEMO = LRUMemo("runner.materialized", maxsize=128)
 _MATERIALIZE_CLOCK = {"build_seconds": 0.0, "builds": 0}
 
 
+#: Shared-memory materialization payloads, keyed by plane-stripped
+#: identity (set in pool workers by :func:`_shm_worker_init`).  When a
+#: key is present, :func:`materialize_scenario` *attaches* the
+#: coordinator's published relations instead of rebuilding them —
+#: byte-identical factors (the store round-trip preserves storage
+#: backend, row order and dictionary provenance exactly), with only the
+#: cheap topology/assignment objects rebuilt locally.
+_SHM_PAYLOADS: Dict[str, Dict[str, Any]] = {}
+
+#: Attach handles kept alive for the worker's lifetime: the factors'
+#: arrays view the mapped segments, so the handles must not be closed
+#: while any memoized query is live.  Process exit reclaims the maps;
+#: unlinking is the coordinator's job.
+_SHM_ATTACHED: List[Any] = []
+
+
+def _attach_materialized(
+    spec: ScenarioSpec, payload: Dict[str, Any]
+) -> Tuple[BuiltQuery, Topology, Optional[Dict[str, str]]]:
+    """Materialize from the coordinator's shared-memory publication."""
+    from ..serve.store import attach_query
+
+    attached = attach_query(payload)
+    _SHM_ATTACHED.append(attached)
+    built = BuiltQuery(
+        attached.query,
+        s_edges=tuple(attached.extra.get("s_edges", ())),
+        t_edges=tuple(attached.extra.get("t_edges", ())),
+    )
+    topology = build_topology(spec)
+    assignment = build_assignment(spec, built, topology)
+    return built, topology, assignment
+
+
 def materialize_scenario(
     spec: ScenarioSpec,
 ) -> Tuple[BuiltQuery, Topology, Optional[Dict[str, str]]]:
     """The spec's (built query, topology, assignment), memoized per
     plane-stripped identity.  Callers must treat the returned objects as
     immutable — they are shared across the scenario's axis planes."""
+    key = _prediction_key(spec)
 
     def build() -> Tuple[BuiltQuery, Topology, Optional[Dict[str, str]]]:
         start = time.perf_counter()
-        built = build_query(spec)
-        topology = build_topology(spec)
-        assignment = build_assignment(spec, built, topology)
+        payload = _SHM_PAYLOADS.get(key)
+        if payload is not None:
+            triple = _attach_materialized(spec, payload)
+        else:
+            built = build_query(spec)
+            topology = build_topology(spec)
+            assignment = build_assignment(spec, built, topology)
+            triple = built, topology, assignment
         _MATERIALIZE_CLOCK["build_seconds"] += time.perf_counter() - start
         _MATERIALIZE_CLOCK["builds"] += 1
-        return built, topology, assignment
+        return triple
 
-    return _MATERIALIZE_MEMO.get_or_compute(_prediction_key(spec), build)
+    return _MATERIALIZE_MEMO.get_or_compute(key, build)
 
 
 #: Per-worker materialization ledgers, keyed by worker pid.  Each pool
@@ -721,6 +761,17 @@ def _worker_init(path: List[str]) -> None:
             sys.path.append(entry)
 
 
+def _shm_worker_init(
+    path: List[str], payloads: Dict[str, Dict[str, Any]]
+) -> None:
+    """Pool initializer for ``--shm`` runs: import path + the published
+    materialization payloads (segment names and manifests only — the
+    relation bytes stay in shared memory, never on the pickle wire)."""
+    _worker_init(path)
+    _SHM_PAYLOADS.clear()
+    _SHM_PAYLOADS.update(payloads)
+
+
 def _execute_with_context(
     spec: ScenarioSpec, trace: bool = False
 ) -> ScenarioResult:
@@ -821,6 +872,7 @@ def run_suite(
     force: bool = False,
     log: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    shm: bool = False,
 ) -> SuiteRun:
     """Execute a suite: cache lookups, then (parallel) fresh runs.
 
@@ -834,6 +886,11 @@ def run_suite(
         trace: Record and replay-verify the protocol event stream of
             every freshly-executed scenario, attaching the (volatile)
             verdict as ``result.trace``.  Cached hits are not re-traced.
+        shm: With ``jobs > 1``, materialize each unique plane-stripped
+            identity once in the coordinator and publish the relations
+            to a shared-memory store (:mod:`repro.serve.store`); workers
+            attach instead of rebuilding.  Results stay byte-identical
+            to serial runs (the parallel≡serial gate covers this path).
 
     Returns:
         A :class:`SuiteRun` whose ``results`` follow suite order exactly,
@@ -892,25 +949,57 @@ def run_suite(
                 emit(f"[run  ] {spec.label}")
                 finish(spec, key, _execute_with_context(spec, trace))
         else:
+            shm_store = None
+            initializer, initargs = _worker_init, (list(sys.path),)
+            if shm:
+                # Materialize each unique identity once, publish to
+                # shared memory; workers receive segment *names* via the
+                # pool initializer and attach on first touch.
+                from ..serve.store import SharedRelationStore, publish_query
+
+                shm_store = SharedRelationStore()
+                payloads: Dict[str, Dict[str, Any]] = {}
+                for spec in pending:
+                    identity = _prediction_key(spec)
+                    if identity in payloads:
+                        continue
+                    built, _topology, _assignment = materialize_scenario(spec)
+                    payloads[identity] = publish_query(
+                        shm_store, identity, built.query,
+                        extra={
+                            "s_edges": built.s_edges,
+                            "t_edges": built.t_edges,
+                        },
+                    )
+                initializer = _shm_worker_init
+                initargs = (list(sys.path), payloads)
+                emit(
+                    f"[shm  ] published {len(payloads)} identities "
+                    f"({shm_store.total_bytes} bytes shared)"
+                )
             emit(f"[pool ] {len(pending)} scenarios on {jobs} workers")
-            with ProcessPoolExecutor(
-                max_workers=jobs, initializer=_worker_init, initargs=(list(sys.path),)
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_pooled, spec, trace): (spec, key)
-                    for spec, key in zip(pending, pending_hashes)
-                }
-                failure: Optional[BaseException] = None
-                for future in as_completed(futures):
-                    spec, key = futures[future]
-                    try:
-                        result, worker_pid, ledger = future.result()
-                        _WORKER_MATERIALIZATION[worker_pid] = ledger
-                        finish(spec, key, result)
-                    except BaseException as exc:  # noqa: BLE001 — re-raised
-                        failure = failure or exc
-                if failure is not None:
-                    raise failure
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=jobs, initializer=initializer, initargs=initargs
+                ) as pool:
+                    futures = {
+                        pool.submit(_execute_pooled, spec, trace): (spec, key)
+                        for spec, key in zip(pending, pending_hashes)
+                    }
+                    failure: Optional[BaseException] = None
+                    for future in as_completed(futures):
+                        spec, key = futures[future]
+                        try:
+                            result, worker_pid, ledger = future.result()
+                            _WORKER_MATERIALIZATION[worker_pid] = ledger
+                            finish(spec, key, result)
+                        except BaseException as exc:  # noqa: BLE001 — re-raised
+                            failure = failure or exc
+                    if failure is not None:
+                        raise failure
+            finally:
+                if shm_store is not None:
+                    shm_store.close()
 
     results = [by_hash[key] for key in hashes]
     return SuiteRun(

@@ -1,0 +1,55 @@
+"""Serving plane — a persistent shared-memory FAQ/BCQ query service.
+
+The lab executes scenarios as cold per-process runs; this package
+promotes the Planner / plan-cache / DictionaryPool stack into a
+long-lived service with a strict offline/online split:
+
+* :mod:`repro.serve.store` — relations registered once, published as
+  zero-copy shared-memory columnar segments warm workers attach to.
+* :mod:`repro.serve.session` — the offline phase: materialization,
+  decomposition search, protocol-plan compilation, query-plan lowering,
+  dictionary interning and symbolic cost prediction, persisted in a
+  session manifest.  The online phase touches only compiled kernels.
+* :mod:`repro.serve.server` — the asyncio front-end: admission control
+  priced by :func:`repro.costmodel.predict_costs` (zero execution),
+  coalescing of structurally identical in-flight queries onto one
+  stacked execution (reusing the lab's batch plane), and a warm worker
+  pool attached to the store.
+
+See ``docs/serving.md`` for the architecture and the benchmark
+methodology behind ``BENCH_serving.json``.
+"""
+
+from .server import (
+    AdmissionPolicy,
+    QueryService,
+    ServeResult,
+    ServiceStats,
+    serve_all,
+)
+from .session import ServingSession, SessionManifest, session_id_of
+from .store import (
+    AttachedQuery,
+    ServeError,
+    SharedRelationStore,
+    attach_query,
+    live_segment_names,
+    publish_query,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "AttachedQuery",
+    "QueryService",
+    "ServeError",
+    "ServeResult",
+    "ServingSession",
+    "SessionManifest",
+    "ServiceStats",
+    "SharedRelationStore",
+    "attach_query",
+    "live_segment_names",
+    "publish_query",
+    "serve_all",
+    "session_id_of",
+]

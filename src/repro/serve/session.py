@@ -1,0 +1,258 @@
+"""Serving sessions — the offline/online split of the serving plane.
+
+A :class:`ServingSession` is one registered scenario identity.  At
+registration time (**offline**) it performs every piece of work that is
+a pure function of the identity and can therefore be paid once:
+
+* materialization of the query/topology/assignment (shared with the
+  lab's structural memo plane),
+* backend conversion + decomposition search + protocol-plan compilation
+  (:meth:`~repro.core.planner.Planner.compile_protocol_plan`, shared
+  via the runner's plan memo),
+* query-plan lowering and dictionary interning (one warm solve primes
+  the :data:`~repro.faq.plan.PLAN_CACHE` and the executor's dictionary
+  pool fast paths),
+* the closed-form bound report and — on cells the symbolic cost model
+  covers — the **exact** :func:`~repro.costmodel.predict_costs` metrics
+  the server's admission controller prices queries with, *without
+  executing anything*,
+* publication of the relations into the shared-memory store.
+
+The **online** path (:meth:`ServingSession.execute_online`) then touches
+only compiled kernels: it re-runs the solver over the already-converted
+factors under the registered kernel tier.  Its answer is byte-identical
+to :meth:`Planner.execute`'s protocol answer for the same spec — the
+four-axis parity contract certifies ``protocol.answer == reference`` on
+every lab run, and the reference solve *is* this online solve.
+
+Everything knowable offline is persisted in a JSON-able
+:class:`SessionManifest` (the ``martelogan__langformer`` RunSession
+idea): a later process can reload the manifest, re-attach the store and
+serve without repeating the search.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .. import kernels
+from ..core.planner import Planner
+from ..lab.batch import structural_signature
+from ..lab.results import answer_digest
+from ..lab.runner import (
+    _PLAN_MEMO,
+    _PREDICTION_MEMO,
+    _prediction_key,
+    materialize_scenario,
+)
+from ..lab.spec import ScenarioSpec
+from .store import ServeError, SharedRelationStore, publish_query
+
+#: Manifest layout version — bump on any incompatible change.
+SESSION_VERSION = 1
+
+
+def session_id_of(spec: ScenarioSpec) -> str:
+    """The stable session identity of a spec: its content hash.
+
+    Two requests for the same spec (all axes included) are the *same*
+    session — the server coalesces them onto one registration.
+    """
+    return f"s-{spec.content_hash()[:20]}"
+
+
+@dataclass
+class SessionManifest:
+    """The durable, JSON-able record of one registered session.
+
+    Everything the offline phase computed: the spec identity, the
+    stacking signature, the admission-control cost prediction, the
+    closed-form bounds, the expected answer digest, and the store
+    segments the relations live in.
+    """
+
+    session_id: str
+    spec: Dict[str, Any]
+    label: str
+    structural_signature: Optional[str]
+    covered: bool
+    predicted: Optional[Dict[str, Any]]
+    bounds: Dict[str, float]
+    answer_digest: str
+    answer_rows: int
+    store: Dict[str, Any]
+    offline_seconds: float
+    version: int = SESSION_VERSION
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "session_id": self.session_id,
+            "spec": self.spec,
+            "label": self.label,
+            "structural_signature": self.structural_signature,
+            "covered": self.covered,
+            "predicted": self.predicted,
+            "bounds": self.bounds,
+            "answer_digest": self.answer_digest,
+            "answer_rows": self.answer_rows,
+            "store": self.store,
+            "offline_seconds": self.offline_seconds,
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+
+class ServingSession:
+    """One registered scenario identity, offline-compiled and warm.
+
+    Construct via :meth:`register`.  Holds the backend-converted
+    planner, the compiled protocol plan, the shm publication payload and
+    the manifest; :meth:`execute_online` is the kernel-only hot path.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        planner: Planner,
+        protocol_plan,
+        payload: Dict[str, Any],
+        manifest: SessionManifest,
+    ) -> None:
+        self.spec = spec
+        self.planner = planner
+        self.protocol_plan = protocol_plan
+        self.payload = payload
+        self.manifest = manifest
+
+    # -- offline ---------------------------------------------------------
+    @classmethod
+    def register(
+        cls, spec: ScenarioSpec, store: SharedRelationStore
+    ) -> "ServingSession":
+        """The offline phase: build, compile, predict, publish, warm."""
+        start = time.perf_counter()
+        session_id = session_id_of(spec)
+        built, topology, assignment = materialize_scenario(spec)
+        with kernels.use_tier(spec.kernels):
+            planner = Planner(
+                built.query, topology, assignment=assignment,
+                backend=spec.backend, engine=spec.engine, solver=spec.solver,
+            )
+            # Same memo key as the lab runner, so a suite that already
+            # ran this identity hands the serving plane its plan free.
+            protocol_plan = _PLAN_MEMO.get_or_compute(
+                (_prediction_key(spec), spec.backend, spec.solver),
+                planner.compile_protocol_plan,
+            )
+            # Warm solve: lowers/caches the QueryPlan (compiled solver),
+            # interns dictionaries, and pins the expected answer digest.
+            warm_answer = planner.reference_answer()
+        predicted, covered, note = _admission_prediction(
+            spec, protocol_plan, topology
+        )
+        bound = planner.predict()
+        payload = publish_query(
+            store, session_id, planner.query,
+            extra={
+                "spec": spec.to_json_dict(),
+                "session_id": session_id,
+            },
+        )
+        digest = answer_digest(warm_answer.schema, warm_answer.rows)
+        manifest = SessionManifest(
+            session_id=session_id,
+            spec=spec.to_json_dict(),
+            label=spec.label,
+            structural_signature=structural_signature(planner.query),
+            covered=covered,
+            predicted=predicted,
+            bounds={
+                "upper_rounds": float(bound.upper_rounds),
+                "lower_rounds": float(bound.lower_rounds),
+            },
+            answer_digest=digest,
+            answer_rows=len(warm_answer),
+            store={
+                "segments": [
+                    {
+                        "name": entry["segment"],
+                        "kind": entry["kind"],
+                        "relation": name,
+                        "rows": entry["rows"],
+                    }
+                    for name, entry in payload["relations"].items()
+                ],
+            },
+            offline_seconds=time.perf_counter() - start,
+            notes={} if note is None else {"cost_model": note},
+        )
+        return cls(spec, planner, protocol_plan, payload, manifest)
+
+    # -- online ----------------------------------------------------------
+    @property
+    def session_id(self) -> str:
+        return self.manifest.session_id
+
+    def execute_online(self):
+        """The kernel-only hot path: solve over the warm factors.
+
+        Returns the answer :class:`~repro.semiring.factor.Factor` —
+        byte-identical (schema, rows, values) to the protocol answer
+        :meth:`Planner.execute` produces for the same spec.
+        """
+        try:
+            with kernels.use_tier(self.spec.kernels):
+                return self.planner.reference_answer()
+        except ServeError:
+            raise
+        except Exception as exc:
+            raise ServeError(
+                "execution-failed",
+                f"online solve failed for {self.session_id}: {exc}",
+                {"session_id": self.session_id},
+            ) from exc
+
+    def online_answer(self) -> Dict[str, Any]:
+        """One served answer: schema, plain-dict rows, content digest."""
+        factor = self.execute_online()
+        rows = dict(factor.rows)
+        return {
+            "schema": list(factor.schema),
+            "rows": rows,
+            "digest": answer_digest(factor.schema, rows),
+        }
+
+
+def _admission_prediction(
+    spec: ScenarioSpec, protocol_plan, topology
+) -> Tuple[Optional[Dict[str, Any]], bool, Optional[str]]:
+    """The zero-execution cost estimate admission control prices with.
+
+    On covered cells this is the *exact* (certified-per-fuzz-run)
+    rounds/bits accounting of the protocol the lab would execute for
+    this spec; uncovered cells return ``(None, False, reason)`` and the
+    admission policy decides whether to serve them unpriced.
+    """
+    # Late import mirrors the runner: workers that never price a query
+    # skip the sympy-aware costmodel modules.
+    from ..costmodel import CostModelError, is_covered, predict_costs
+
+    if not is_covered(spec):
+        return None, False, "cell not covered by the symbolic cost model"
+    try:
+        metrics = dict(_PREDICTION_MEMO.get_or_compute(
+            _prediction_key(spec),
+            lambda: predict_costs(
+                spec, plan=protocol_plan, nodes=topology.nodes
+            ).metrics(),
+        ))
+    except CostModelError as exc:
+        return None, False, f"cost model error: {exc}"
+    return metrics, True, None

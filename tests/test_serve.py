@@ -1,0 +1,414 @@
+"""The serving plane's infrastructure contracts.
+
+Covers the shared-memory relation store (publish/attach byte-identity,
+pickled fallback, explicit lifecycle, no ``/dev/shm`` leaks), structured
+degradation (``ServeError`` on detach / crash / shutdown / overload),
+the thread-safety of the plan cache and structural memos the service
+shares across threads, admission control, and the lab runner's ``--shm``
+pooled materialization path.  Answer-level parity lives in
+``test_serving_parity.py``.
+"""
+
+import asyncio
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.memo import LRUMemo, clear_all_memos
+from repro.faq.plan import PLAN_CACHE, PlanCache
+from repro.lab.generate import generate_scenarios, sample_scenario
+from repro.lab.runner import materialize_scenario, run_suite
+from repro.lab.suites import get_suite
+from repro.semiring import Factor, get_semiring
+from repro.semiring.columnar import ColumnarFactor
+from repro.serve import (
+    AdmissionPolicy,
+    QueryService,
+    ServeError,
+    SharedRelationStore,
+    attach_query,
+    live_segment_names,
+    publish_query,
+)
+from repro.serve.server import _crash_worker, _worker_execute
+from repro.serve.session import ServingSession, session_id_of
+
+
+def _shm_entries():
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:  # non-Linux: fall back to our own registry
+        return set(live_segment_names())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    clear_all_memos()
+    PLAN_CACHE.clear()
+    yield
+
+
+# ---------------------------------------------------------------------------
+# Store: publish/attach round trip
+# ---------------------------------------------------------------------------
+
+
+def test_store_roundtrip_is_byte_identical_across_fuzz_scenarios():
+    """Attached factors reproduce storage backend, row order, codes and
+    dictionary provenance exactly, for whatever the fuzz plane builds."""
+    for spec in generate_scenarios(321, 12):
+        built, _topology, _assignment = materialize_scenario(spec)
+        with SharedRelationStore() as store:
+            payload = pickle.loads(pickle.dumps(
+                publish_query(store, "q", built.query)
+            ))
+            attached = attach_query(payload)
+            original, rebuilt = built.query, attached.query
+            assert dict(original.hypergraph.edges()) == dict(
+                rebuilt.hypergraph.edges()
+            )
+            assert original.domains == rebuilt.domains
+            assert original.free_vars == rebuilt.free_vars
+            assert original.bound_order == rebuilt.bound_order
+            assert original.semiring is rebuilt.semiring
+            assert original.backend == rebuilt.backend
+            for name, factor in original.factors.items():
+                twin = rebuilt.factors[name]
+                assert type(factor).__name__ == type(twin).__name__
+                assert list(factor.rows.items()) == list(twin.rows.items())
+                if isinstance(factor, ColumnarFactor):
+                    for left, right in zip(factor.codes, twin.codes):
+                        assert np.array_equal(left, right)
+                    assert np.array_equal(factor.values, twin.values)
+                    for dl, dr in zip(
+                        factor.dictionaries, twin.dictionaries
+                    ):
+                        al = getattr(dl, "array", None)
+                        ar = getattr(dr, "array", None)
+                        assert (al is None) == (ar is None)
+                        if al is not None:
+                            assert al.dtype == ar.dtype
+            attached.close()
+
+
+def test_store_pickled_fallback_for_non_columnar_semiring():
+    gf2 = get_semiring("gf2")
+    factor = Factor(("x",), {(0,): 1, (1,): 0}, semiring=gf2, name="R")
+    from repro.faq import FAQQuery
+    from repro.hypergraph import Hypergraph
+
+    query = FAQQuery(
+        hypergraph=Hypergraph({"R": ("x",)}),
+        factors={"R": factor},
+        domains={"x": (0, 1)},
+        free_vars=("x",),
+        semiring=gf2,
+    )
+    with SharedRelationStore() as store:
+        payload = publish_query(store, "q", query)
+        assert payload["relations"]["R"]["kind"] == "pickled"
+        attached = attach_query(payload)
+        assert dict(attached.query.factors["R"].rows) == dict(factor.rows)
+        attached.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle and leaks
+# ---------------------------------------------------------------------------
+
+
+def test_store_close_unlinks_everything_and_is_idempotent():
+    before = _shm_entries()
+    spec = sample_scenario(11)
+    built, _t, _a = materialize_scenario(spec)
+    store = SharedRelationStore()
+    publish_query(store, "q", built.query)
+    assert store.segment_names
+    store.close()
+    store.close()  # idempotent
+    store.unlink()  # alias, also idempotent
+    assert live_segment_names() == ()
+    assert _shm_entries() == before
+    with pytest.raises(ServeError) as err:
+        publish_query(store, "q2", built.query)
+    assert err.value.code == "shutdown"
+
+
+def test_attach_after_teardown_raises_store_detached():
+    spec = sample_scenario(13)
+    built, _t, _a = materialize_scenario(spec)
+    store = SharedRelationStore()
+    payload = publish_query(store, "q", built.query)
+    store.close()
+    with pytest.raises(ServeError) as err:
+        attach_query(payload)
+    assert err.value.code == "store-detached"
+    assert "segment" in err.value.detail
+
+
+def test_serve_error_survives_pickling():
+    err = ServeError("rejected", "too big", {"total_bits": 9000})
+    twin = pickle.loads(pickle.dumps(err))
+    assert isinstance(twin, ServeError)
+    assert twin.code == "rejected"
+    assert twin.detail == {"total_bits": 9000}
+    assert twin.to_dict()["message"] == "too big"
+
+
+def test_no_segments_leak_across_a_service_lifetime():
+    before = _shm_entries()
+
+    async def main():
+        async with QueryService() as service:
+            spec = sample_scenario(17)
+            await service.submit(spec)
+
+    asyncio.run(main())
+    assert live_segment_names() == ()
+    assert _shm_entries() == before
+
+
+# ---------------------------------------------------------------------------
+# Thread safety (the satellite the async server depends on)
+# ---------------------------------------------------------------------------
+
+
+def test_lru_memo_concurrent_access_is_consistent():
+    memo = LRUMemo("test.concurrent", maxsize=64)
+    errors = []
+
+    def hammer(worker):
+        try:
+            for i in range(500):
+                key = i % 97
+                value = memo.get_or_compute(key, lambda k=key: k * 3)
+                assert value == key * 3
+                if i % 100 == 0:
+                    memo.clear()
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append((worker, exc))
+
+    threads = [
+        threading.Thread(target=hammer, args=(n,)) for n in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    # The memo still behaves after the storm (clear() resets counters,
+    # so only behaviour — not totals — is assertable here).
+    assert memo.get_or_compute("after", lambda: 42) == 42
+    assert len(memo._data) <= memo.maxsize
+
+
+def test_plan_cache_concurrent_access_is_consistent():
+    cache = PlanCache(maxsize=32)
+    sentinel = object()
+    errors = []
+
+    def hammer(worker):
+        try:
+            for i in range(400):
+                key = f"sig-{i % 53}"
+                hit = cache.get(key)
+                if hit is None:
+                    cache.put(key, (key, sentinel))
+                else:
+                    assert hit[0] == key
+                len(cache)
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append((worker, exc))
+
+    threads = [
+        threading.Thread(target=hammer, args=(n,)) for n in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 32  # eviction bound held under the race
+
+
+# ---------------------------------------------------------------------------
+# Admission control and service degradation
+# ---------------------------------------------------------------------------
+
+
+def _covered_spec():
+    """A covered spec with a positive predicted cost (priced admission)."""
+    for spec in generate_scenarios(7, 40):
+        store = SharedRelationStore()
+        try:
+            manifest = ServingSession.register(spec, store).manifest
+            if manifest.covered and manifest.predicted["total_bits"] > 0:
+                return spec
+        finally:
+            store.close()
+    raise RuntimeError("no covered spec in the sample")  # pragma: no cover
+
+
+def test_admission_rejects_over_budget_with_prediction_detail():
+    spec = _covered_spec()
+
+    async def main():
+        policy = AdmissionPolicy(max_predicted_bits=0)
+        async with QueryService(policy=policy) as service:
+            with pytest.raises(ServeError) as err:
+                await service.submit(spec)
+            assert err.value.code == "rejected"
+            detail = err.value.detail
+            assert detail["priced"] is True
+            assert detail["predicted"]["total_bits"] > 0
+            assert detail["budget"]["max_predicted_bits"] == 0
+            assert service.stats.rejected == 1
+
+    asyncio.run(main())
+
+
+def test_admission_defers_over_budget_but_still_serves():
+    spec = _covered_spec()
+
+    async def main():
+        policy = AdmissionPolicy(max_predicted_bits=0, over_budget="defer")
+        async with QueryService(policy=policy) as service:
+            result = await service.submit(spec)
+            assert result.deferred is True
+            assert result.digest
+            assert service.stats.deferred == 1
+            assert service.stats.served == 1
+
+    asyncio.run(main())
+
+
+def test_admission_policy_decisions_on_manifest_shapes():
+    """Unit-level policy matrix (every valid lab cell is covered today,
+    so the unpriced branch is exercised on a synthetic manifest)."""
+    import dataclasses
+
+    spec = sample_scenario(29)
+    store = SharedRelationStore()
+    try:
+        manifest = ServingSession.register(spec, store).manifest
+    finally:
+        store.close()
+    unpriced = dataclasses.replace(manifest, predicted=None, covered=False)
+
+    assert AdmissionPolicy().decide(manifest)[0] == "admit"
+    assert AdmissionPolicy(allow_unpriced=False).decide(unpriced)[0] == (
+        "reject"
+    )
+    assert AdmissionPolicy(allow_unpriced=True).decide(unpriced)[0] == (
+        "admit"
+    )
+    if manifest.predicted is not None:
+        bits = manifest.predicted["total_bits"]
+        decision, detail = AdmissionPolicy(
+            max_predicted_bits=bits
+        ).decide(manifest)
+        assert decision == "admit"  # budget is inclusive
+        if bits > 0:
+            decision, detail = AdmissionPolicy(
+                max_predicted_bits=bits - 1, over_budget="defer"
+            ).decide(manifest)
+            assert decision == "defer"
+            assert detail["predicted"]["total_bits"] == bits
+
+
+def test_overloaded_queue_fails_fast():
+    async def main():
+        async with QueryService(max_pending=0) as service:
+            with pytest.raises(ServeError) as err:
+                await service.submit(sample_scenario(19))
+            assert err.value.code == "overloaded"
+
+    asyncio.run(main())
+
+
+def test_submit_after_close_raises_shutdown():
+    async def main():
+        service = QueryService()
+        await service.start()
+        await service.close()
+        with pytest.raises(ServeError) as err:
+            await service.submit(sample_scenario(19))
+        assert err.value.code == "shutdown"
+        await service.close()  # idempotent
+
+    asyncio.run(main())
+
+
+def test_worker_crash_mid_query_returns_structured_error_and_recovers():
+    spec = sample_scenario(23)
+
+    async def main():
+        async with QueryService(workers=1) as service:
+            first = await service.submit(spec)
+            # Kill the warm worker as a segfault would (no cleanup)...
+            loop = asyncio.get_running_loop()
+            with pytest.raises(Exception):
+                await loop.run_in_executor(
+                    service._process_pool, _crash_worker
+                )
+            service._restart_pool()
+            # ...the service stays up and the next query is served.
+            again = await service.submit(spec)
+            assert again.digest == first.digest
+
+    asyncio.run(main())
+
+
+def test_pool_crash_surfaces_as_serve_error_not_a_hang():
+    spec = sample_scenario(23)
+
+    async def main():
+        async with QueryService(workers=1) as service:
+            service.register(spec)
+            # Crash the pool *between* queries, then submit: the broken
+            # pool must surface as ServeError("worker-crashed") on this
+            # request, and the rebuilt pool must serve the next one.
+            loop = asyncio.get_running_loop()
+            with pytest.raises(Exception):
+                await loop.run_in_executor(
+                    service._process_pool, _crash_worker
+                )
+            try:
+                result = await asyncio.wait_for(
+                    service.submit(spec), timeout=60
+                )
+            except ServeError as exc:
+                assert exc.code == "worker-crashed"
+                result = await asyncio.wait_for(
+                    service.submit(spec), timeout=60
+                )
+            assert result.digest
+            assert service.stats.worker_crashes <= 1
+
+    asyncio.run(main())
+
+
+def test_worker_without_payload_raises_unknown_session():
+    with pytest.raises(ServeError) as err:
+        _worker_execute("s-nonexistent")
+    assert err.value.code == "unknown-session"
+
+
+# ---------------------------------------------------------------------------
+# Lab runner --shm path
+# ---------------------------------------------------------------------------
+
+
+def test_pooled_shm_run_is_byte_identical_to_serial():
+    before = _shm_entries()
+    suite = get_suite("smoke")
+    serial = run_suite(suite, jobs=1, cache=None)
+    pooled = run_suite(suite, jobs=2, cache=None, shm=True)
+    assert [r.deterministic_record() for r in serial.results] == [
+        r.deterministic_record() for r in pooled.results
+    ]
+    assert live_segment_names() == ()
+    assert _shm_entries() == before
